@@ -1,0 +1,218 @@
+//! Binary encodings of multi-valued variables.
+//!
+//! CFSM transition functions are *multi-valued* (Section II-C speaks of
+//! multi-output multi-valued functions); the BDD layer represents each
+//! multi-valued variable with a block of binary variables, MSB first. The
+//! bits of one variable are kept adjacent in the order (a sifting group, see
+//! [`crate::reorder::SiftConfig::groups`]) so the s-graph builder can regroup
+//! consecutive bit tests into one multi-way TEST node.
+
+use crate::{Bdd, NodeRef, Var};
+
+/// The block of BDD variables encoding one multi-valued variable, most
+/// significant bit first.
+///
+/// # Examples
+///
+/// ```
+/// use polis_bdd::{Bdd, encode::MvVar};
+///
+/// let mut bdd = Bdd::new();
+/// let state = MvVar::new(&mut bdd, "state", 3); // domain {0, 1, 2}
+/// let is2 = state.eq_const(&mut bdd, 2);
+/// assert!(bdd.eval(is2, |v| v == state.bits()[0])); // code 10 = 2
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvVar {
+    name: String,
+    bits: Vec<Var>,
+    domain: u64,
+}
+
+impl MvVar {
+    /// Declares `ceil(log2(domain))` fresh binary variables (at least one)
+    /// at the bottom of `bdd`'s order, named `name.k` for bit `k` (MSB is
+    /// bit `width-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(bdd: &mut Bdd, name: impl Into<String>, domain: u64) -> MvVar {
+        assert!(domain > 0, "multi-valued domain must be non-empty");
+        let name = name.into();
+        let width = bits_for(domain);
+        let bits = (0..width)
+            .map(|k| bdd.new_var(format!("{name}.{}", width - 1 - k)))
+            .collect();
+        MvVar { name, bits, domain }
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The encoding bits, MSB first.
+    pub fn bits(&self) -> &[Var] {
+        &self.bits
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Number of encoding bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The predicate `self == value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn eq_const(&self, bdd: &mut Bdd, value: u64) -> NodeRef {
+        assert!(value < self.domain, "value {value} outside domain");
+        let w = self.width();
+        let lits: Vec<NodeRef> = (0..w)
+            .map(|k| {
+                let bit = value >> (w - 1 - k) & 1 == 1;
+                let v = self.bits[k];
+                if bit {
+                    bdd.var(v)
+                } else {
+                    bdd.nvar(v)
+                }
+            })
+            .collect();
+        bdd.and_all(lits)
+    }
+
+    /// The predicate `self == other` (bitwise equality; both variables must
+    /// have the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn eq_var(&self, bdd: &mut Bdd, other: &MvVar) -> NodeRef {
+        assert_eq!(self.width(), other.width(), "width mismatch");
+        let eqs: Vec<NodeRef> = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(&a, &b)| {
+                let fa = bdd.var(a);
+                let fb = bdd.var(b);
+                bdd.iff(fa, fb)
+            })
+            .collect();
+        bdd.and_all(eqs)
+    }
+
+    /// The characteristic function of `{ v in domain | pred(v) }`.
+    pub fn such_that(&self, bdd: &mut Bdd, pred: impl Fn(u64) -> bool) -> NodeRef {
+        let cubes: Vec<NodeRef> = (0..self.domain)
+            .filter(|&v| pred(v))
+            .map(|v| self.eq_const(bdd, v))
+            .collect();
+        bdd.or_all(cubes)
+    }
+
+    /// The constraint that the encoded value is inside the domain (always
+    /// true for power-of-two domains).
+    pub fn in_domain(&self, bdd: &mut Bdd) -> NodeRef {
+        if self.domain.is_power_of_two() {
+            NodeRef::TRUE
+        } else {
+            self.such_that(bdd, |_| true)
+        }
+    }
+
+    /// Decodes an assignment (a predicate on bits) into the encoded value.
+    pub fn decode(&self, assignment: impl Fn(Var) -> bool) -> u64 {
+        let mut v = 0u64;
+        for &bit in &self.bits {
+            v = (v << 1) | u64::from(assignment(bit));
+        }
+        v
+    }
+}
+
+/// Number of bits needed to encode a domain of the given size (at least 1).
+pub fn bits_for(domain: u64) -> usize {
+    if domain <= 2 {
+        1
+    } else {
+        (64 - (domain - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_domains() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+    }
+
+    #[test]
+    fn eq_const_exactly_one_code() {
+        let mut b = Bdd::new();
+        let mv = MvVar::new(&mut b, "s", 4);
+        for v in 0..4 {
+            let f = mv.eq_const(&mut b, v);
+            assert_eq!(b.sat_count(f), 1, "value {v}");
+            // the satisfying assignment decodes back to v
+            let cube = b.pick_cube(f).unwrap();
+            let assign =
+                |var: Var| cube.iter().any(|&(cv, val)| cv == var && val);
+            assert_eq!(mv.decode(assign), v);
+        }
+    }
+
+    #[test]
+    fn eq_var_counts_diagonal() {
+        let mut b = Bdd::new();
+        let s = MvVar::new(&mut b, "s", 4);
+        let t = MvVar::new(&mut b, "t", 4);
+        let f = s.eq_var(&mut b, &t);
+        assert_eq!(b.sat_count(f), 4); // 4 equal pairs over 16 assignments
+    }
+
+    #[test]
+    fn such_that_and_in_domain() {
+        let mut b = Bdd::new();
+        let s = MvVar::new(&mut b, "s", 3); // 2 bits, one invalid code
+        let even = s.such_that(&mut b, |v| v % 2 == 0);
+        assert_eq!(b.sat_count(even), 2); // 0 and 2
+        let dom = s.in_domain(&mut b);
+        assert_eq!(b.sat_count(dom), 3);
+        let p2 = MvVar::new(&mut b, "t", 4);
+        assert!(p2.in_domain(&mut b).is_true());
+    }
+
+    #[test]
+    fn bit_names_are_derived() {
+        let mut b = Bdd::new();
+        let s = MvVar::new(&mut b, "st", 5);
+        assert_eq!(s.width(), 3);
+        assert_eq!(b.var_name(s.bits()[0]), "st.2"); // MSB
+        assert_eq!(b.var_name(s.bits()[2]), "st.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn eq_const_out_of_domain_panics() {
+        let mut b = Bdd::new();
+        let s = MvVar::new(&mut b, "s", 3);
+        let _ = s.eq_const(&mut b, 3);
+    }
+}

@@ -1,0 +1,846 @@
+//! A reduced ordered binary decision diagram (ROBDD) package with dynamic
+//! variable reordering by sifting.
+//!
+//! BDDs are the key intermediate representation of the POLIS software
+//! synthesis flow (Balarin et al., Section II-B): the CFSM reactive function
+//! is represented by the BDD of its characteristic function, optimized by
+//! Rudell's sifting algorithm under the constraint that *no output variable
+//! sifts above any input in its support*, and then translated one-to-one into
+//! an s-graph (Section III-B).
+//!
+//! The package provides:
+//!
+//! * a [`Bdd`] manager with hash-consed nodes, an ITE operation cache, and
+//!   the usual Boolean operations ([`Bdd::and`], [`Bdd::or`], [`Bdd::not`],
+//!   [`Bdd::xor`], [`Bdd::ite`], ...);
+//! * cofactor/restriction ([`Bdd::restrict`]) and smoothing / existential
+//!   quantification ([`Bdd::exists`]) used to build characteristic functions
+//!   (Section II-C);
+//! * mark-and-sweep garbage collection ([`Bdd::gc`]);
+//! * in-place adjacent level swap and constrained sifting
+//!   ([`Bdd::sift`], see the [`reorder`] module);
+//! * multi-bit encodings of bounded-integer variables ([`encode`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use polis_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new();
+//! let x = bdd.new_var("x");
+//! let y = bdd.new_var("y");
+//! let fx = bdd.var(x);
+//! let fy = bdd.var(y);
+//! let f = bdd.and(fx, fy);
+//! assert!(bdd.eval(f, |v| v == x || v == y));
+//! assert!(!bdd.eval(f, |v| v == x));
+//! ```
+
+pub mod encode;
+pub mod reorder;
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A BDD variable, identified by creation index (stable across reordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's creation index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A handle to a BDD node (a Boolean function rooted at that node).
+///
+/// Handles stay valid across [`Bdd::sift`] (reordering rewrites nodes in
+/// place) and across [`Bdd::gc`] *if* the handle was reachable from the roots
+/// passed to `gc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    /// The constant false function.
+    pub const FALSE: NodeRef = NodeRef(0);
+    /// The constant true function.
+    pub const TRUE: NodeRef = NodeRef(1);
+
+    /// `true` if this is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// `true` if this is the true terminal.
+    pub fn is_true(self) -> bool {
+        self == NodeRef::TRUE
+    }
+
+    /// `true` if this is the false terminal.
+    pub fn is_false(self) -> bool {
+        self == NodeRef::FALSE
+    }
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+/// Level assigned to terminals: below every variable.
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: NodeRef,
+    hi: NodeRef,
+}
+
+/// A reduced ordered BDD manager.
+///
+/// All functions created by one manager share its node store and variable
+/// order. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    free: Vec<NodeRef>,
+    /// Per-variable unique tables: `(lo, hi) -> node`.
+    unique: Vec<HashMap<(NodeRef, NodeRef), NodeRef>>,
+    /// `level -> var index`.
+    var_at_level: Vec<u32>,
+    /// `var index -> level`.
+    level_of_var: Vec<u32>,
+    /// Human-readable variable names (debugging / DOT output).
+    var_names: Vec<String>,
+    ite_cache: HashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    /// Total `mk` calls; a rough work counter exposed for benchmarks.
+    mk_calls: u64,
+}
+
+impl Default for Bdd {
+    fn default() -> Bdd {
+        Bdd::new()
+    }
+}
+
+impl Bdd {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> Bdd {
+        Bdd {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: NodeRef::FALSE,
+                    hi: NodeRef::FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: NodeRef::TRUE,
+                    hi: NodeRef::TRUE,
+                },
+            ],
+            free: Vec::new(),
+            unique: Vec::new(),
+            var_at_level: Vec::new(),
+            level_of_var: Vec::new(),
+            var_names: Vec::new(),
+            ite_cache: HashMap::new(),
+            mk_calls: 0,
+        }
+    }
+
+    /// Declares a new variable at the bottom of the current order.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        let idx = self.level_of_var.len() as u32;
+        self.level_of_var.push(self.var_at_level.len() as u32);
+        self.var_at_level.push(idx);
+        self.unique.push(HashMap::new());
+        self.var_names.push(name.into());
+        Var(idx)
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.level_of_var.len()
+    }
+
+    /// The name given to `v` at creation.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// The current level (0 = root-most) of variable `v`.
+    pub fn level(&self, v: Var) -> usize {
+        self.level_of_var[v.index()] as usize
+    }
+
+    /// The variable currently at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= num_vars()`.
+    pub fn var_at(&self, level: usize) -> Var {
+        Var(self.var_at_level[level])
+    }
+
+    /// The current variable order, root-most first.
+    pub fn order(&self) -> Vec<Var> {
+        self.var_at_level.iter().map(|&v| Var(v)).collect()
+    }
+
+    /// Total `mk` invocations so far (work counter for benchmarks).
+    pub fn mk_calls(&self) -> u64 {
+        self.mk_calls
+    }
+
+    fn level_of_node(&self, n: NodeRef) -> u32 {
+        let v = self.nodes[n.idx()].var;
+        if v == TERMINAL_VAR {
+            TERMINAL_LEVEL
+        } else {
+            self.level_of_var[v as usize]
+        }
+    }
+
+    /// The variable labelling node `n`, or `None` for terminals.
+    pub fn node_var(&self, n: NodeRef) -> Option<Var> {
+        let v = self.nodes[n.idx()].var;
+        (v != TERMINAL_VAR).then_some(Var(v))
+    }
+
+    /// The low (`var = 0`) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is a terminal.
+    pub fn lo(&self, n: NodeRef) -> NodeRef {
+        assert!(!n.is_terminal(), "terminals have no children");
+        self.nodes[n.idx()].lo
+    }
+
+    /// The high (`var = 1`) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is a terminal.
+    pub fn hi(&self, n: NodeRef) -> NodeRef {
+        assert!(!n.is_terminal(), "terminals have no children");
+        self.nodes[n.idx()].hi
+    }
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> NodeRef {
+        if value {
+            NodeRef::TRUE
+        } else {
+            NodeRef::FALSE
+        }
+    }
+
+    /// The single-variable function `v`.
+    pub fn var(&mut self, v: Var) -> NodeRef {
+        self.mk(v.0, NodeRef::FALSE, NodeRef::TRUE)
+    }
+
+    /// The single-variable function `!v`.
+    pub fn nvar(&mut self, v: Var) -> NodeRef {
+        self.mk(v.0, NodeRef::TRUE, NodeRef::FALSE)
+    }
+
+    /// Hash-consing node constructor; the only way nodes are created.
+    fn mk(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        self.mk_calls += 1;
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            self.level_of_var[var as usize] < self.level_of_node(lo)
+                && self.level_of_var[var as usize] < self.level_of_node(hi),
+            "mk would violate the variable order"
+        );
+        self.mk_raw(var, lo, hi)
+    }
+
+    /// Like `mk` but without the order assertion; used mid-swap when the
+    /// recorded order is transiently inconsistent.
+    fn mk_raw(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&n) = self.unique[var as usize].get(&(lo, hi)) {
+            return n;
+        }
+        let node = Node { var, lo, hi };
+        let r = if let Some(slot) = self.free.pop() {
+            self.nodes[slot.idx()] = node;
+            slot
+        } else {
+            let r = NodeRef(self.nodes.len() as u32);
+            self.nodes.push(node);
+            r
+        };
+        self.unique[var as usize].insert((lo, hi), r);
+        r
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + !f·h`. All other Boolean
+    /// operations are derived from it.
+    pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> NodeRef {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if f == g {
+            // f·f + !f·h = f + h = ite(f, 1, h)
+            return self.ite(f, NodeRef::TRUE, h);
+        }
+        if f == h {
+            // f·g + !f·f = f·g = ite(f, g, 0)
+            return self.ite(f, g, NodeRef::FALSE);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self
+            .level_of_node(f)
+            .min(self.level_of_node(g))
+            .min(self.level_of_node(h));
+        let v = self.var_at_level[top as usize];
+        let (f0, f1) = self.cofactors_at(f, v);
+        let (g0, g1) = self.cofactors_at(g, v);
+        let (h0, h1) = self.cofactors_at(h, v);
+        let t = self.ite(f1, g1, h1);
+        let e = self.ite(f0, g0, h0);
+        let r = self.mk(v, e, t);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Both cofactors of `n` with respect to variable index `v` (which must
+    /// be at or above `n`'s level).
+    fn cofactors_at(&self, n: NodeRef, v: u32) -> (NodeRef, NodeRef) {
+        let node = &self.nodes[n.idx()];
+        if node.var == v {
+            (node.lo, node.hi)
+        } else {
+            (n, n)
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(f, g, NodeRef::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(f, NodeRef::TRUE, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: NodeRef) -> NodeRef {
+        self.ite(f, NodeRef::FALSE, NodeRef::TRUE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Biconditional (`f == g`).
+    pub fn iff(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication (`f -> g`).
+    pub fn implies(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(f, g, NodeRef::TRUE)
+    }
+
+    /// Conjunction of all `fs`.
+    pub fn and_all(&mut self, fs: impl IntoIterator<Item = NodeRef>) -> NodeRef {
+        fs.into_iter()
+            .fold(NodeRef::TRUE, |acc, f| self.and(acc, f))
+    }
+
+    /// Disjunction of all `fs`.
+    pub fn or_all(&mut self, fs: impl IntoIterator<Item = NodeRef>) -> NodeRef {
+        fs.into_iter()
+            .fold(NodeRef::FALSE, |acc, f| self.or(acc, f))
+    }
+
+    /// The restriction (cofactor) `f|_{v = val}` (Section II-C).
+    pub fn restrict(&mut self, f: NodeRef, v: Var, val: bool) -> NodeRef {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, v.0, val, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: NodeRef,
+        v: u32,
+        val: bool,
+        memo: &mut HashMap<NodeRef, NodeRef>,
+    ) -> NodeRef {
+        if f.is_terminal() {
+            return f;
+        }
+        let flevel = self.level_of_node(f);
+        let vlevel = self.level_of_var[v as usize];
+        if flevel > vlevel {
+            return f; // v does not occur in f
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let node = self.nodes[f.idx()];
+        let r = if node.var == v {
+            if val {
+                node.hi
+            } else {
+                node.lo
+            }
+        } else {
+            let lo = self.restrict_rec(node.lo, v, val, memo);
+            let hi = self.restrict_rec(node.hi, v, val, memo);
+            self.mk(node.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Existential quantification (smoothing, Section II-C):
+    /// `∃v. f = f|_{v=0} + f|_{v=1}`.
+    pub fn exists(&mut self, f: NodeRef, v: Var) -> NodeRef {
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        self.or(f0, f1)
+    }
+
+    /// Existential quantification over several variables.
+    pub fn exists_all(&mut self, f: NodeRef, vs: impl IntoIterator<Item = Var>) -> NodeRef {
+        vs.into_iter().fold(f, |acc, v| self.exists(acc, v))
+    }
+
+    /// Universal quantification: `∀v. f = f|_{v=0} · f|_{v=1}`.
+    pub fn forall(&mut self, f: NodeRef, v: Var) -> NodeRef {
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        self.and(f0, f1)
+    }
+
+    /// The set of variables `f` essentially depends on, sorted by current
+    /// level (root-most first).
+    pub fn support(&self, f: NodeRef) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let node = &self.nodes[n.idx()];
+            vars.insert(node.var);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        let mut out: Vec<Var> = vars.into_iter().map(Var).collect();
+        out.sort_by_key(|v| self.level_of_var[v.index()]);
+        out
+    }
+
+    /// Evaluates `f` under the assignment `val` (a predicate on variables).
+    pub fn eval(&self, f: NodeRef, val: impl Fn(Var) -> bool) -> bool {
+        let mut n = f;
+        while !n.is_terminal() {
+            let node = &self.nodes[n.idx()];
+            n = if val(Var(node.var)) { node.hi } else { node.lo };
+        }
+        n.is_true()
+    }
+
+    /// Number of satisfying assignments of `f` over all declared variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 127 variables are declared (the count would not
+    /// fit in a `u128`).
+    pub fn sat_count(&self, f: NodeRef) -> u128 {
+        let nvars = self.num_vars() as u32;
+        assert!(nvars < 128, "sat_count supports at most 127 variables");
+        let mut memo: HashMap<NodeRef, u128> = HashMap::new();
+        let below_root = self.sat_count_rec(f, &mut memo);
+        // Scale by the variables above f's top level.
+        let top = if f.is_terminal() {
+            nvars
+        } else {
+            self.level_of_node(f)
+        };
+        below_root << top
+    }
+
+    /// Counts assignments over the variables strictly below (and including)
+    /// the node's level.
+    fn sat_count_rec(&self, f: NodeRef, memo: &mut HashMap<NodeRef, u128>) -> u128 {
+        let nvars = self.num_vars() as u32;
+        if f.is_false() {
+            return 0;
+        }
+        if f.is_true() {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let node = &self.nodes[f.idx()];
+        let level = self.level_of_var[node.var as usize];
+        let child_weight = |s: &Bdd, child: NodeRef, count: u128| {
+            let clevel = if child.is_terminal() {
+                nvars
+            } else {
+                s.level_of_node(child)
+            };
+            count << (clevel - level - 1)
+        };
+        let lo = self.sat_count_rec(node.lo, memo);
+        let hi = self.sat_count_rec(node.hi, memo);
+        let c = child_weight(self, node.lo, lo) + child_weight(self, node.hi, hi);
+        memo.insert(f, c);
+        c
+    }
+
+    /// Returns one satisfying assignment of `f` as `(Var, bool)` pairs for
+    /// the variables on the chosen path, or `None` if `f` is unsatisfiable.
+    pub fn pick_cube(&self, f: NodeRef) -> Option<Vec<(Var, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut cube = Vec::new();
+        let mut n = f;
+        while !n.is_terminal() {
+            let node = &self.nodes[n.idx()];
+            if node.hi.is_false() {
+                cube.push((Var(node.var), false));
+                n = node.lo;
+            } else {
+                cube.push((Var(node.var), true));
+                n = node.hi;
+            }
+        }
+        debug_assert!(n.is_true());
+        Some(cube)
+    }
+
+    /// Number of distinct nodes (terminals excluded) reachable from `roots`.
+    pub fn size(&self, roots: &[NodeRef]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<NodeRef> = roots.to_vec();
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = &self.nodes[n.idx()];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        count
+    }
+
+    /// Total allocated (live or dead) non-terminal nodes in the store.
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len() - 2 - self.free.len()
+    }
+
+    /// Mark-and-sweep garbage collection: frees every node not reachable
+    /// from `roots` and clears the operation cache. Handles reachable from
+    /// `roots` remain valid. Returns the number of nodes freed.
+    pub fn gc(&mut self, roots: &[NodeRef]) -> usize {
+        let mut marked = std::collections::HashSet::new();
+        let mut stack: Vec<NodeRef> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !marked.insert(n) {
+                continue;
+            }
+            let node = &self.nodes[n.idx()];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        let mut freed = 0;
+        for table in &mut self.unique {
+            table.retain(|_, &mut n| {
+                if marked.contains(&n) {
+                    true
+                } else {
+                    self.free.push(n);
+                    freed += 1;
+                    false
+                }
+            });
+        }
+        self.ite_cache.clear();
+        freed
+    }
+
+    /// Clears the ITE operation cache (needed after reordering; done
+    /// automatically by [`Bdd::sift`]).
+    pub fn clear_cache(&mut self) {
+        self.ite_cache.clear();
+    }
+
+    /// Renders the graph rooted at `roots` in Graphviz DOT format.
+    pub fn to_dot(&self, roots: &[(&str, NodeRef)]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = Vec::new();
+        for (name, r) in roots {
+            let _ = writeln!(out, "  \"{name}\" [shape=plaintext];");
+            let _ = writeln!(out, "  \"{name}\" -> n{};", r.0);
+            stack.push(*r);
+        }
+        let _ = writeln!(out, "  n0 [shape=box,label=\"0\"];");
+        let _ = writeln!(out, "  n1 [shape=box,label=\"1\"];");
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let node = &self.nodes[n.idx()];
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\"];",
+                n.0, self.var_names[node.var as usize]
+            );
+            let _ = writeln!(out, "  n{} -> n{} [style=dashed];", n.0, node.lo.0);
+            let _ = writeln!(out, "  n{} -> n{};", n.0, node.hi.0);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    // ---- internals shared with the reorder module ----
+
+    pub(crate) fn node(&self, n: NodeRef) -> (u32, NodeRef, NodeRef) {
+        let node = &self.nodes[n.idx()];
+        (node.var, node.lo, node.hi)
+    }
+
+    pub(crate) fn rewrite_node(&mut self, n: NodeRef, var: u32, lo: NodeRef, hi: NodeRef) {
+        self.nodes[n.idx()] = Node { var, lo, hi };
+    }
+
+    pub(crate) fn unique_table(&self, var: u32) -> &HashMap<(NodeRef, NodeRef), NodeRef> {
+        &self.unique[var as usize]
+    }
+
+    pub(crate) fn unique_table_mut(
+        &mut self,
+        var: u32,
+    ) -> &mut HashMap<(NodeRef, NodeRef), NodeRef> {
+        &mut self.unique[var as usize]
+    }
+
+    pub(crate) fn make_inner(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        self.mk_raw(var, lo, hi)
+    }
+
+    pub(crate) fn set_level(&mut self, v: u32, level: u32) {
+        self.level_of_var[v as usize] = level;
+        self.var_at_level[level as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup3() -> (Bdd, Var, Var, Var) {
+        let mut b = Bdd::new();
+        let x = b.new_var("x");
+        let y = b.new_var("y");
+        let z = b.new_var("z");
+        (b, x, y, z)
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        let (mut b, x, _, _) = setup3();
+        assert!(b.constant(true).is_true());
+        assert!(b.constant(false).is_false());
+        let fx = b.var(x);
+        assert!(b.eval(fx, |_| true));
+        assert!(!b.eval(fx, |_| false));
+        let nx = b.nvar(x);
+        let alt = b.not(fx);
+        assert_eq!(nx, alt, "canonical: !x built two ways is one node");
+    }
+
+    #[test]
+    fn canonical_hash_consing() {
+        let (mut b, x, y, _) = setup3();
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let f1 = b.and(fx, fy);
+        let f2 = b.and(fy, fx);
+        assert_eq!(f1, f2, "and is commutative up to node identity");
+        let g1 = b.or(fx, fy);
+        let nfx = b.not(fx);
+        let nfy = b.not(fy);
+        let ng = b.and(nfx, nfy);
+        let g2 = b.not(ng);
+        assert_eq!(g1, g2, "De Morgan holds up to node identity");
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        let f = b.ite(fx, fy, fz);
+        for bits in 0..8u32 {
+            let assign = |v: Var| bits & (1 << v.0) != 0;
+            let want = if assign(x) { assign(y) } else { assign(z) };
+            assert_eq!(b.eval(f, assign), want, "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn xor_iff_implies() {
+        let (mut b, x, y, _) = setup3();
+        let (fx, fy) = (b.var(x), b.var(y));
+        let fxor = b.xor(fx, fy);
+        let fiff = b.iff(fx, fy);
+        let fimp = b.implies(fx, fy);
+        for bits in 0..4u32 {
+            let assign = |v: Var| bits & (1 << v.0) != 0;
+            assert_eq!(b.eval(fxor, assign), assign(x) ^ assign(y));
+            assert_eq!(b.eval(fiff, assign), assign(x) == assign(y));
+            assert_eq!(b.eval(fimp, assign), !assign(x) | assign(y));
+        }
+    }
+
+    #[test]
+    fn restrict_and_exists() {
+        let (mut b, x, y, _) = setup3();
+        let (fx, fy) = (b.var(x), b.var(y));
+        let f = b.and(fx, fy);
+        let f_x1 = b.restrict(f, x, true);
+        assert_eq!(f_x1, fy);
+        let f_x0 = b.restrict(f, x, false);
+        assert!(f_x0.is_false());
+        let ex = b.exists(f, x);
+        assert_eq!(ex, fy);
+        let fa = b.forall(f, x);
+        assert!(fa.is_false());
+    }
+
+    #[test]
+    fn support_is_essential_dependence() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        // f = x·y + x·!y = x : support must not include y.
+        let nfy = b.not(fy);
+        let a = b.and(fx, fy);
+        let c = b.and(fx, nfy);
+        let f = b.or(a, c);
+        assert_eq!(b.support(f), vec![x]);
+        let g = b.and(fy, fz);
+        assert_eq!(b.support(g), vec![y, z]);
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        assert_eq!(b.sat_count(NodeRef::TRUE), 8);
+        assert_eq!(b.sat_count(NodeRef::FALSE), 0);
+        assert_eq!(b.sat_count(fx), 4);
+        let f = b.and(fx, fy);
+        assert_eq!(b.sat_count(f), 2);
+        let g = b.or_all([fx, fy, fz]);
+        assert_eq!(b.sat_count(g), 7);
+        let h = b.xor(fx, fy);
+        assert_eq!(b.sat_count(h), 4);
+    }
+
+    #[test]
+    fn pick_cube_satisfies() {
+        let (mut b, x, y, _) = setup3();
+        let (fx, fy) = (b.var(x), b.var(y));
+        let nfx = b.not(fx);
+        let f = b.and(nfx, fy);
+        let cube = b.pick_cube(f).unwrap();
+        let assign = |v: Var| cube.iter().any(|&(cv, val)| cv == v && val);
+        assert!(b.eval(f, assign));
+        assert_eq!(b.pick_cube(NodeRef::FALSE), None);
+    }
+
+    #[test]
+    fn gc_frees_unreachable_keeps_reachable() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        let keep = b.and(fx, fy);
+        let _garbage = b.xor(fy, fz);
+        let before = b.allocated_nodes();
+        let freed = b.gc(&[keep]);
+        assert!(freed > 0);
+        assert_eq!(b.allocated_nodes(), before - freed);
+        // keep still evaluates correctly after gc
+        assert!(b.eval(keep, |_| true));
+        // and new operations still work
+        let again = b.and(fx, fy);
+        assert_eq!(again, keep);
+    }
+
+    #[test]
+    fn size_counts_shared_nodes_once() {
+        let (mut b, x, y, _) = setup3();
+        let (fx, fy) = (b.var(x), b.var(y));
+        let f = b.and(fx, fy);
+        let g = b.or(fx, fy);
+        let both = b.size(&[f, g]);
+        assert!(both <= b.size(&[f]) + b.size(&[g]));
+        assert_eq!(b.size(&[NodeRef::TRUE]), 0);
+    }
+
+    #[test]
+    fn to_dot_contains_roots_and_terminals() {
+        let (mut b, x, _, _) = setup3();
+        let fx = b.var(x);
+        let dot = b.to_dot(&[("f", fx)]);
+        assert!(dot.contains("\"f\""));
+        assert!(dot.contains("n0 [shape=box"));
+        assert!(dot.contains("label=\"x\""));
+    }
+
+    #[test]
+    fn var_metadata() {
+        let (b, x, y, z) = setup3();
+        assert_eq!(b.num_vars(), 3);
+        assert_eq!(b.var_name(y), "y");
+        assert_eq!(b.level(x), 0);
+        assert_eq!(b.var_at(2), z);
+        assert_eq!(b.order(), vec![x, y, z]);
+    }
+}

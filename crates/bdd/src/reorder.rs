@@ -1,0 +1,512 @@
+//! Dynamic variable reordering by sifting (Rudell, ICCAD'93), as used in
+//! Section III-B3b of the paper.
+//!
+//! The s-graph synthesis flow constrains reordering in two ways:
+//!
+//! * **precedence** — an output variable of the reactive function must not
+//!   sift above any input in its support ("we must add the constraint that no
+//!   output can sift before any input in its support");
+//! * **groups** — the bits encoding one multi-valued CFSM variable must stay
+//!   adjacent and keep their relative order, so that the s-graph can regroup
+//!   them into a single multi-way TEST or ASSIGN.
+//!
+//! Both are expressed through [`SiftConfig`]. The implementation uses
+//! in-place adjacent level swaps, so [`NodeRef`] handles remain valid across
+//! reordering.
+
+use crate::{Bdd, NodeRef, Var};
+
+/// Constraints and options for [`Bdd::sift`].
+#[derive(Debug, Clone, Default)]
+pub struct SiftConfig {
+    /// `(a, b)` requires `a` to stay *above* `b` (closer to the root) in the
+    /// order. Used for "output after its support".
+    pub precedence: Vec<(Var, Var)>,
+    /// Each group is a list of variables that must remain contiguous, in the
+    /// given top-to-bottom order. Variables not mentioned form singleton
+    /// groups. Used for the bits of multi-valued variables.
+    pub groups: Vec<Vec<Var>>,
+    /// Maximum number of sift passes; sifting stops earlier when a pass
+    /// yields no improvement. The paper uses a single pass
+    /// ("single-pass dynamic variable ordering (sift)").
+    pub max_passes: usize,
+}
+
+impl SiftConfig {
+    /// A single unconstrained sifting pass.
+    pub fn single_pass() -> SiftConfig {
+        SiftConfig {
+            max_passes: 1,
+            ..SiftConfig::default()
+        }
+    }
+
+    /// Sift until convergence (no improvement in a full pass).
+    pub fn to_convergence() -> SiftConfig {
+        SiftConfig {
+            max_passes: usize::MAX,
+            ..SiftConfig::default()
+        }
+    }
+}
+
+impl Bdd {
+    /// Swaps the variables at `level` and `level + 1` in place.
+    ///
+    /// Node handles remain valid and keep denoting the same functions; the
+    /// operation cache is cleared. This is the primitive underlying
+    /// [`Bdd::sift`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1 >= num_vars()`.
+    pub fn swap_levels(&mut self, level: usize) {
+        assert!(
+            level + 1 < self.num_vars(),
+            "swap_levels: level {level} out of range"
+        );
+        let x = self.var_at(level).0;
+        let y = self.var_at(level + 1).0;
+
+        // Collect the x-nodes that depend on y; they must be rewritten.
+        // Children of x-nodes are below level `level`, and only x-nodes are
+        // rewritten, so collecting (lo, hi) up front is safe.
+        let interacting: Vec<(NodeRef, NodeRef, NodeRef)> = self
+            .unique_table(x)
+            .iter()
+            .filter(|&(&(lo, hi), _)| self.node(lo).0 == y || self.node(hi).0 == y)
+            .map(|(&(lo, hi), &n)| (n, lo, hi))
+            .collect();
+        for &(_, lo, hi) in &interacting {
+            self.unique_table_mut(x).remove(&(lo, hi));
+        }
+
+        for (n, lo, hi) in interacting {
+            // Cofactors of the function at `n` over (x, y):
+            // n = x ? hi : lo, so f_{x=a, y=b} = (a ? hi : lo)|_{y=b}.
+            let (lo_var, lo_lo, lo_hi) = self.node(lo);
+            let (hi_var, hi_lo, hi_hi) = self.node(hi);
+            let (f00, f01) = if lo_var == y { (lo_lo, lo_hi) } else { (lo, lo) };
+            let (f10, f11) = if hi_var == y { (hi_lo, hi_hi) } else { (hi, hi) };
+            // After the swap y is on top: n = y ? (x ? f11 : f01)
+            //                                   : (x ? f10 : f00).
+            let new_lo = self.make_inner(x, f00, f10);
+            let new_hi = self.make_inner(x, f01, f11);
+            debug_assert_ne!(new_lo, new_hi, "swap produced a redundant node");
+            self.rewrite_node(n, y, new_lo, new_hi);
+            let prev = self.unique_table_mut(y).insert((new_lo, new_hi), n);
+            debug_assert!(prev.is_none(), "swap produced a duplicate y-node");
+        }
+
+        self.set_level(x, level as u32 + 1);
+        self.set_level(y, level as u32);
+        self.clear_cache();
+    }
+
+    /// Sifts variables to (heuristically) minimize the number of nodes
+    /// reachable from `roots`, honoring the precedence and grouping
+    /// constraints in `config`. Returns the resulting size.
+    ///
+    /// Handles in `roots` (and any other handle reachable from them) remain
+    /// valid. Unreachable nodes are garbage-collected first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group's variables are not currently contiguous and in the
+    /// listed order, or if the constraints are contradictory (a precedence
+    /// cycle between groups).
+    pub fn sift(&mut self, roots: &[NodeRef], config: &SiftConfig) -> usize {
+        self.gc(roots);
+        if self.num_vars() < 2 {
+            return self.size(roots);
+        }
+        let mut layout = BlockLayout::new(self, config);
+        let mut best = self.size(roots);
+        let passes = config.max_passes.max(1);
+        for _ in 0..passes {
+            let before = best;
+            best = self.sift_pass(roots, &mut layout, best);
+            if best >= before {
+                break;
+            }
+        }
+        best
+    }
+
+    /// One sifting pass over every block, largest first.
+    fn sift_pass(&mut self, roots: &[NodeRef], layout: &mut BlockLayout, mut best: usize) -> usize {
+        // Count live nodes per variable to choose the sift order.
+        let mut per_var = vec![0usize; self.num_vars()];
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<NodeRef> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let (v, lo, hi) = self.node(n);
+            per_var[v as usize] += 1;
+            stack.push(lo);
+            stack.push(hi);
+        }
+        let mut block_weight: Vec<(usize, usize)> = (0..layout.num_blocks())
+            .map(|b| {
+                let w = layout.block_vars[b]
+                    .iter()
+                    .map(|&v| per_var[v as usize])
+                    .sum::<usize>();
+                (b, w)
+            })
+            .collect();
+        block_weight.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+
+        for (block, weight) in block_weight {
+            if weight == 0 {
+                continue;
+            }
+            best = self.sift_block(roots, layout, block, best);
+        }
+        best
+    }
+
+    /// Moves one block through its feasible window and leaves it at the best
+    /// position found.
+    fn sift_block(
+        &mut self,
+        roots: &[NodeRef],
+        layout: &mut BlockLayout,
+        block: usize,
+        mut best: usize,
+    ) -> usize {
+        let start = layout.position(block);
+        let (lb, ub) = layout.feasible_window(block);
+        debug_assert!((lb..=ub).contains(&start));
+        let mut best_pos = start;
+
+        // Walk down to the upper bound, then up to the lower bound,
+        // measuring after each single-position move.
+        let mut pos = start;
+        while pos < ub {
+            layout.swap_with_next(self, pos);
+            pos += 1;
+            let s = self.size(roots);
+            if s < best {
+                best = s;
+                best_pos = pos;
+            }
+        }
+        while pos > lb {
+            layout.swap_with_next(self, pos - 1);
+            pos -= 1;
+            let s = self.size(roots);
+            if s < best {
+                best = s;
+                best_pos = pos;
+            }
+        }
+        // Return to the best position seen.
+        while pos < best_pos {
+            layout.swap_with_next(self, pos);
+            pos += 1;
+        }
+        best
+    }
+}
+
+/// The arrangement of variables into contiguous blocks during sifting.
+struct BlockLayout {
+    /// `block -> vars top-to-bottom` (fixed internal order).
+    block_vars: Vec<Vec<u32>>,
+    /// Current block sequence, root-most first.
+    seq: Vec<usize>,
+    /// `precedes[a][b]` — block `a` must stay above block `b`.
+    precedes: Vec<Vec<bool>>,
+}
+
+impl BlockLayout {
+    fn new(bdd: &Bdd, config: &SiftConfig) -> BlockLayout {
+        let nvars = bdd.num_vars();
+        let mut group_of = vec![usize::MAX; nvars];
+        let mut block_vars: Vec<Vec<u32>> = Vec::new();
+        for group in &config.groups {
+            let id = block_vars.len();
+            let mut vars = Vec::new();
+            for (i, &v) in group.iter().enumerate() {
+                assert!(
+                    group_of[v.index()] == usize::MAX,
+                    "variable {v} appears in two groups"
+                );
+                group_of[v.index()] = id;
+                if i > 0 {
+                    assert_eq!(
+                        bdd.level(v),
+                        bdd.level(group[i - 1]) + 1,
+                        "group variables must be contiguous and in order before sifting"
+                    );
+                }
+                vars.push(v.0);
+            }
+            assert!(!vars.is_empty(), "empty variable group");
+            block_vars.push(vars);
+        }
+        for (v, slot) in group_of.iter_mut().enumerate() {
+            if *slot == usize::MAX {
+                *slot = block_vars.len();
+                block_vars.push(vec![v as u32]);
+            }
+        }
+        // Sequence: blocks ordered by the level of their first variable.
+        let mut seq: Vec<usize> = (0..block_vars.len()).collect();
+        seq.sort_by_key(|&b| bdd.level(Var(block_vars[b][0])));
+
+        let m = block_vars.len();
+        let mut precedes = vec![vec![false; m]; m];
+        for &(a, b) in &config.precedence {
+            let (ba, bb) = (group_of[a.index()], group_of[b.index()]);
+            if ba != bb {
+                precedes[ba][bb] = true;
+            }
+        }
+        let layout = BlockLayout {
+            block_vars,
+            seq,
+            precedes,
+        };
+        layout.check_consistent();
+        layout
+    }
+
+    fn check_consistent(&self) {
+        for (i, &a) in self.seq.iter().enumerate() {
+            for &b in &self.seq[..i] {
+                assert!(
+                    !self.precedes[a][b],
+                    "initial order violates a sifting precedence constraint \
+                     (or the constraints are cyclic)"
+                );
+            }
+        }
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.seq.len()
+    }
+
+    fn position(&self, block: usize) -> usize {
+        self.seq.iter().position(|&b| b == block).expect("block")
+    }
+
+    fn block_len(&self, block: usize) -> usize {
+        self.block_vars[block].len()
+    }
+
+    fn start_level(&self, pos: usize) -> usize {
+        self.seq[..pos].iter().map(|&b| self.block_len(b)).sum()
+    }
+
+    /// Feasible sequence positions `(lb, ub)` for `block` given the current
+    /// positions of every other block.
+    fn feasible_window(&self, block: usize) -> (usize, usize) {
+        let pos = self.position(block);
+        let mut lb = 0;
+        let mut ub = self.seq.len() - 1;
+        for (i, &other) in self.seq.iter().enumerate() {
+            if other == block {
+                continue;
+            }
+            if self.precedes[other][block] && i < pos {
+                lb = lb.max(i + 1);
+            }
+            if self.precedes[block][other] && i > pos {
+                ub = ub.min(i - 1);
+            }
+        }
+        (lb, ub)
+    }
+
+    /// Swaps the blocks at sequence positions `pos` and `pos + 1` by
+    /// repeated adjacent level swaps, preserving both blocks' internal
+    /// orders.
+    fn swap_with_next(&mut self, bdd: &mut Bdd, pos: usize) {
+        let a = self.block_len(self.seq[pos]);
+        let b = self.block_len(self.seq[pos + 1]);
+        let t = self.start_level(pos);
+        // Bubble each variable of the upper block, bottom-most first, down
+        // past the lower block.
+        for k in 1..=a {
+            let from = t + a - k;
+            for j in 0..b {
+                bdd.swap_levels(from + j);
+            }
+        }
+        self.seq.swap(pos, pos + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds f = x0·x1 + x2·x3 + x4·x5 under an interleaved-bad order
+    /// x0,x2,x4,x1,x3,x5 — the classic example where sifting helps.
+    fn bad_order_function() -> (Bdd, NodeRef, Vec<Var>) {
+        let mut b = Bdd::new();
+        // declaration order = initial level order
+        let x0 = b.new_var("x0");
+        let x2 = b.new_var("x2");
+        let x4 = b.new_var("x4");
+        let x1 = b.new_var("x1");
+        let x3 = b.new_var("x3");
+        let x5 = b.new_var("x5");
+        let pairs = [(x0, x1), (x2, x3), (x4, x5)];
+        let mut f = NodeRef::FALSE;
+        for (a, c) in pairs {
+            let fa = b.var(a);
+            let fc = b.var(c);
+            let t = b.and(fa, fc);
+            f = b.or(f, t);
+        }
+        (b, f, vec![x0, x1, x2, x3, x4, x5])
+    }
+
+    /// A reference Boolean function evaluated under a variable assignment.
+    type Spec<'a> = &'a dyn Fn(&dyn Fn(Var) -> bool) -> bool;
+
+    fn functions_equal(b: &Bdd, f: NodeRef, g: Spec<'_>) -> bool {
+        let n = b.num_vars();
+        (0..1u32 << n).all(|bits| {
+            let assign = |v: Var| bits & (1 << v.0) != 0;
+            b.eval(f, assign) == g(&assign)
+        })
+    }
+
+    #[test]
+    fn swap_preserves_function() {
+        let (mut b, f, vars) = bad_order_function();
+        let spec = |assign: &dyn Fn(Var) -> bool| {
+            (assign(vars[0]) && assign(vars[1]))
+                || (assign(vars[2]) && assign(vars[3]))
+                || (assign(vars[4]) && assign(vars[5]))
+        };
+        for l in 0..b.num_vars() - 1 {
+            b.swap_levels(l);
+            assert!(functions_equal(&b, f, &spec), "after swap at level {l}");
+        }
+    }
+
+    #[test]
+    fn double_swap_is_identity_on_order() {
+        let (mut b, _f, _) = bad_order_function();
+        let before = b.order();
+        b.swap_levels(2);
+        b.swap_levels(2);
+        assert_eq!(b.order(), before);
+    }
+
+    #[test]
+    fn sifting_shrinks_bad_order() {
+        let (mut b, f, vars) = bad_order_function();
+        let before = b.size(&[f]);
+        let after = b.sift(&[f], &SiftConfig::to_convergence());
+        assert!(after < before, "sift: {before} -> {after}");
+        // Optimal size for the 3-pair function is 6 nodes.
+        assert_eq!(after, 6);
+        let spec = |assign: &dyn Fn(Var) -> bool| {
+            (assign(vars[0]) && assign(vars[1]))
+                || (assign(vars[2]) && assign(vars[3]))
+                || (assign(vars[4]) && assign(vars[5]))
+        };
+        assert!(functions_equal(&b, f, &spec));
+    }
+
+    #[test]
+    fn precedence_constraint_is_honored() {
+        let (mut b, f, vars) = bad_order_function();
+        // Force x5 to stay below x0 and x2 (as if it were an "output").
+        let config = SiftConfig {
+            precedence: vec![(vars[0], vars[5]), (vars[2], vars[5])],
+            max_passes: 4,
+            ..SiftConfig::default()
+        };
+        b.sift(&[f], &config);
+        assert!(b.level(vars[0]) < b.level(vars[5]));
+        assert!(b.level(vars[2]) < b.level(vars[5]));
+    }
+
+    #[test]
+    fn groups_stay_contiguous_and_ordered() {
+        let (mut b, f, _) = bad_order_function();
+        // Group the originally-adjacent levels 1..=2 (vars x2, x4).
+        let g1 = b.var_at(1);
+        let g2 = b.var_at(2);
+        let config = SiftConfig {
+            groups: vec![vec![g1, g2]],
+            max_passes: 4,
+            ..SiftConfig::default()
+        };
+        b.sift(&[f], &config);
+        assert_eq!(
+            b.level(g2),
+            b.level(g1) + 1,
+            "group must remain contiguous in order"
+        );
+    }
+
+    #[test]
+    fn sift_preserves_other_roots() {
+        let mut b = Bdd::new();
+        let x = b.new_var("x");
+        let y = b.new_var("y");
+        let z = b.new_var("z");
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        let f = b.and(fx, fy);
+        let g = b.xor(fy, fz);
+        b.sift(&[f, g], &SiftConfig::to_convergence());
+        for bits in 0..8u32 {
+            let assign = |v: Var| bits & (1 << v.0) != 0;
+            assert_eq!(b.eval(f, assign), assign(x) && assign(y));
+            assert_eq!(b.eval(g, assign), assign(y) ^ assign(z));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precedence constraint")]
+    fn cyclic_constraints_panic() {
+        let mut b = Bdd::new();
+        let x = b.new_var("x");
+        let y = b.new_var("y");
+        let fx = b.var(x);
+        let fy = b.var(y);
+        let f = b.and(fx, fy);
+        let config = SiftConfig {
+            precedence: vec![(x, y), (y, x)],
+            max_passes: 1,
+            ..SiftConfig::default()
+        };
+        b.sift(&[f], &config);
+    }
+
+    #[test]
+    fn swap_with_shared_subgraphs() {
+        // Regression-style test: functions sharing nodes across a swapped
+        // boundary must stay canonical and correct.
+        let mut b = Bdd::new();
+        let vars: Vec<Var> = (0..4).map(|i| b.new_var(format!("v{i}"))).collect();
+        let lits: Vec<NodeRef> = vars.iter().map(|&v| b.var(v)).collect();
+        let t01 = b.and(lits[0], lits[1]);
+        let t23 = b.and(lits[2], lits[3]);
+        let f = b.or(t01, t23);
+        let g = b.xor(t01, lits[3]);
+        b.swap_levels(1);
+        b.swap_levels(0);
+        b.swap_levels(2);
+        for bits in 0..16u32 {
+            let assign = |v: Var| bits & (1 << v.0) != 0;
+            let a: Vec<bool> = (0..4).map(|i| assign(vars[i])).collect();
+            assert_eq!(b.eval(f, assign), (a[0] && a[1]) || (a[2] && a[3]));
+            assert_eq!(b.eval(g, assign), (a[0] && a[1]) ^ a[3]);
+        }
+        // Re-doing an operation after swaps must still hash-cons correctly.
+        let t01b = b.and(lits[0], lits[1]);
+        assert_eq!(b.size(&[t01, t01b]), b.size(&[t01]));
+    }
+}

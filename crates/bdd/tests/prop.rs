@@ -1,0 +1,258 @@
+//! Property-based tests: the BDD package against brute-force truth tables.
+
+use polis_bdd::reorder::SiftConfig;
+use polis_bdd::{Bdd, NodeRef, Var};
+use proptest::prelude::*;
+
+/// A random Boolean expression over `NVARS` variables.
+#[derive(Debug, Clone)]
+enum BoolExpr {
+    Const(bool),
+    Var(usize),
+    Not(Box<BoolExpr>),
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    Xor(Box<BoolExpr>, Box<BoolExpr>),
+    Ite(Box<BoolExpr>, Box<BoolExpr>, Box<BoolExpr>),
+}
+
+const NVARS: usize = 6;
+
+fn arb_expr() -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(BoolExpr::Const),
+        (0..NVARS).prop_map(BoolExpr::Var),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| BoolExpr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| BoolExpr::Ite(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+impl BoolExpr {
+    fn eval(&self, bits: u32) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Var(i) => bits & (1 << i) != 0,
+            BoolExpr::Not(a) => !a.eval(bits),
+            BoolExpr::And(a, b) => a.eval(bits) && b.eval(bits),
+            BoolExpr::Or(a, b) => a.eval(bits) || b.eval(bits),
+            BoolExpr::Xor(a, b) => a.eval(bits) ^ b.eval(bits),
+            BoolExpr::Ite(c, t, e) => {
+                if c.eval(bits) {
+                    t.eval(bits)
+                } else {
+                    e.eval(bits)
+                }
+            }
+        }
+    }
+
+    fn build(&self, bdd: &mut Bdd, vars: &[Var]) -> NodeRef {
+        match self {
+            BoolExpr::Const(b) => bdd.constant(*b),
+            BoolExpr::Var(i) => bdd.var(vars[*i]),
+            BoolExpr::Not(a) => {
+                let fa = a.build(bdd, vars);
+                bdd.not(fa)
+            }
+            BoolExpr::And(a, b) => {
+                let fa = a.build(bdd, vars);
+                let fb = b.build(bdd, vars);
+                bdd.and(fa, fb)
+            }
+            BoolExpr::Or(a, b) => {
+                let fa = a.build(bdd, vars);
+                let fb = b.build(bdd, vars);
+                bdd.or(fa, fb)
+            }
+            BoolExpr::Xor(a, b) => {
+                let fa = a.build(bdd, vars);
+                let fb = b.build(bdd, vars);
+                bdd.xor(fa, fb)
+            }
+            BoolExpr::Ite(c, t, e) => {
+                let fc = c.build(bdd, vars);
+                let ft = t.build(bdd, vars);
+                let fe = e.build(bdd, vars);
+                bdd.ite(fc, ft, fe)
+            }
+        }
+    }
+}
+
+fn setup(expr: &BoolExpr) -> (Bdd, Vec<Var>, NodeRef) {
+    let mut bdd = Bdd::new();
+    let vars: Vec<Var> = (0..NVARS).map(|i| bdd.new_var(format!("x{i}"))).collect();
+    let f = expr.build(&mut bdd, &vars);
+    (bdd, vars, f)
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_truth_table(expr in arb_expr()) {
+        let (bdd, vars, f) = setup(&expr);
+        for bits in 0..1u32 << NVARS {
+            let assign = |v: Var| {
+                let i = vars.iter().position(|&x| x == v).unwrap();
+                bits & (1 << i) != 0
+            };
+            prop_assert_eq!(bdd.eval(f, assign), expr.eval(bits), "bits={:06b}", bits);
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(expr in arb_expr()) {
+        let (bdd, _vars, f) = setup(&expr);
+        let brute = (0..1u32 << NVARS).filter(|&b| expr.eval(b)).count() as u128;
+        prop_assert_eq!(bdd.sat_count(f), brute);
+    }
+
+    #[test]
+    fn restrict_matches_substitution(expr in arb_expr(), vi in 0..NVARS, val in any::<bool>()) {
+        let (mut bdd, vars, f) = setup(&expr);
+        let r = bdd.restrict(f, vars[vi], val);
+        // The restricted function no longer depends on the variable.
+        prop_assert!(!bdd.support(r).contains(&vars[vi]));
+        for bits in 0..1u32 << NVARS {
+            let forced = if val { bits | (1 << vi) } else { bits & !(1 << vi) };
+            let assign = |v: Var| {
+                let i = vars.iter().position(|&x| x == v).unwrap();
+                bits & (1 << i) != 0
+            };
+            prop_assert_eq!(bdd.eval(r, assign), expr.eval(forced));
+        }
+    }
+
+    #[test]
+    fn exists_is_or_of_cofactors(expr in arb_expr(), vi in 0..NVARS) {
+        let (mut bdd, vars, f) = setup(&expr);
+        let e = bdd.exists(f, vars[vi]);
+        for bits in 0..1u32 << NVARS {
+            let assign = |v: Var| {
+                let i = vars.iter().position(|&x| x == v).unwrap();
+                bits & (1 << i) != 0
+            };
+            let want = expr.eval(bits | (1 << vi)) || expr.eval(bits & !(1 << vi));
+            prop_assert_eq!(bdd.eval(e, assign), want);
+        }
+    }
+
+    #[test]
+    fn sifting_preserves_function_and_never_grows(expr in arb_expr()) {
+        let (mut bdd, vars, f) = setup(&expr);
+        bdd.gc(&[f]);
+        let before = bdd.size(&[f]);
+        let after = bdd.sift(&[f], &SiftConfig::to_convergence());
+        prop_assert!(after <= before, "sift grew the BDD: {} -> {}", before, after);
+        for bits in 0..1u32 << NVARS {
+            let assign = |v: Var| {
+                let i = vars.iter().position(|&x| x == v).unwrap();
+                bits & (1 << i) != 0
+            };
+            prop_assert_eq!(bdd.eval(f, assign), expr.eval(bits));
+        }
+    }
+
+    #[test]
+    fn random_swaps_preserve_canonicity(expr in arb_expr(), swaps in proptest::collection::vec(0..NVARS - 1, 0..12)) {
+        let (mut bdd, vars, f) = setup(&expr);
+        for l in swaps {
+            bdd.swap_levels(l);
+        }
+        // Rebuilding the same function must land on the same node.
+        let g = expr.build(&mut bdd, &vars);
+        prop_assert_eq!(f, g, "canonicity violated after swaps");
+    }
+
+    #[test]
+    fn forall_is_and_of_cofactors(expr in arb_expr(), vi in 0..NVARS) {
+        let (mut bdd, vars, f) = setup(&expr);
+        let a = bdd.forall(f, vars[vi]);
+        for bits in 0..1u32 << NVARS {
+            let assign = |v: Var| {
+                let i = vars.iter().position(|&x| x == v).unwrap();
+                bits & (1 << i) != 0
+            };
+            let want = expr.eval(bits | (1 << vi)) && expr.eval(bits & !(1 << vi));
+            prop_assert_eq!(bdd.eval(a, assign), want);
+        }
+    }
+
+    #[test]
+    fn iff_and_implies_laws(ea in arb_expr(), eb in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Var> = (0..NVARS).map(|i| bdd.new_var(format!("x{i}"))).collect();
+        let fa = ea.build(&mut bdd, &vars);
+        let fb = eb.build(&mut bdd, &vars);
+        let iff = bdd.iff(fa, fb);
+        let imp_ab = bdd.implies(fa, fb);
+        let imp_ba = bdd.implies(fb, fa);
+        // (a <-> b) == (a -> b) && (b -> a), canonically.
+        let both = bdd.and(imp_ab, imp_ba);
+        prop_assert_eq!(iff, both);
+        // a -> a is a tautology.
+        prop_assert!(bdd.implies(fa, fa).is_true());
+    }
+
+    #[test]
+    fn pick_cube_always_satisfies(expr in arb_expr()) {
+        let (bdd, _vars, f) = setup(&expr);
+        match bdd.pick_cube(f) {
+            None => prop_assert!(f.is_false()),
+            Some(cube) => {
+                let assign = |v: Var| cube.iter().any(|&(cv, val)| cv == v && val);
+                prop_assert!(bdd.eval(f, assign));
+            }
+        }
+    }
+
+    #[test]
+    fn gc_preserves_registered_roots(expr in arb_expr(), other in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Var> = (0..NVARS).map(|i| bdd.new_var(format!("x{i}"))).collect();
+        let f = expr.build(&mut bdd, &vars);
+        let _garbage = other.build(&mut bdd, &vars);
+        bdd.gc(&[f]);
+        for bits in 0..1u32 << NVARS {
+            let assign = |v: Var| {
+                let i = vars.iter().position(|&x| x == v).unwrap();
+                bits & (1 << i) != 0
+            };
+            prop_assert_eq!(bdd.eval(f, assign), expr.eval(bits));
+        }
+        // Rebuilding after GC still hash-conses onto the kept root.
+        let g = expr.build(&mut bdd, &vars);
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn mv_such_that_counts_match(domain in 1u64..24, modulus in 1u64..6) {
+        let mut bdd = Bdd::new();
+        let mv = polis_bdd::encode::MvVar::new(&mut bdd, "m", domain);
+        let f = mv.such_that(&mut bdd, |v| v % modulus == 0);
+        let expected = (0..domain).filter(|v| v % modulus == 0).count() as u128;
+        prop_assert_eq!(bdd.sat_count(f), expected);
+    }
+
+    #[test]
+    fn support_is_exact(expr in arb_expr()) {
+        let (bdd, vars, f) = setup(&expr);
+        let sup = bdd.support(f);
+        for (i, &v) in vars.iter().enumerate() {
+            let depends = (0..1u32 << NVARS).any(|bits| {
+                expr.eval(bits | (1 << i)) != expr.eval(bits & !(1 << i))
+            });
+            prop_assert_eq!(sup.contains(&v), depends, "var {}", i);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! **Ablation (Section III-B3d)** — TEST-node collapsing.
+//!
+//! The paper: "In a series of experiments ... we never observed an
+//! improvement in the final running time or size of the generated code. As
+//! a result, we do not currently use TEST node collapsing." This harness
+//! reruns that experiment over the dashboard and seat-belt machines.
+
+use polis_core::{workloads, SynthesisOptions};
+use polis_estimate::calibrate;
+use polis_vm::Profile;
+
+fn main() {
+    let params = calibrate(Profile::Mcu8);
+    let plain = SynthesisOptions::default();
+    let collapsed = SynthesisOptions {
+        collapse: true,
+        ..SynthesisOptions::default()
+    };
+
+    println!("Ablation: TEST-node collapsing (Mcu8)\n");
+    println!(
+        "| {:<12} | {:>8} {:>9} | {:>8} {:>9} | {:>8} |",
+        "CFSM", "size[B]", "max[cyc]", "size'[B]", "max'[cyc]", "verdict"
+    );
+    println!("|{}|", "-".repeat(68));
+
+    let mut improvements = 0usize;
+    let mut total = 0usize;
+    for net in [workloads::dashboard(), workloads::seat_belt()] {
+        for m in net.cfsms() {
+            let a = polis_core::synthesize_with_params(m, &plain, &params);
+            let b = polis_core::synthesize_with_params(m, &collapsed, &params);
+            let better = b.measured.size_bytes < a.measured.size_bytes
+                && b.measured.max_cycles < a.measured.max_cycles;
+            if better {
+                improvements += 1;
+            }
+            total += 1;
+            println!(
+                "| {:<12} | {:>8} {:>9} | {:>8} {:>9} | {:>8} |",
+                m.name(),
+                a.measured.size_bytes,
+                a.measured.max_cycles,
+                b.measured.size_bytes,
+                b.measured.max_cycles,
+                if better { "better" } else { "no win" }
+            );
+        }
+    }
+    println!(
+        "\ncollapsing improved both size and time on {improvements}/{total} machines"
+    );
+    println!(
+        "shape check (paper: no consistent improvement): {}",
+        if improvements * 2 <= total { "HOLDS" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,95 @@
+//! **Granularity sweep (Section I-H)** — growing the synchronous islands.
+//!
+//! "A growth of the synchronous islands (CFSMs) typically induces an
+//! increase in code size, due to the more complex transition function ...
+//! \[and\] a reduction in execution time ... due to the reduction of
+//! communication and scheduling overhead."
+//!
+//! We sweep the dashboard from fully distributed (8 CFSMs) through partial
+//! merges to the full synchronous product, measuring total code size and
+//! the cycles needed to process the same stimulus stream.
+
+use polis_bench::dashboard_stimulus;
+use polis_cfsm::{compose, Network};
+use polis_core::{synthesize_with_params, workloads, SynthesisOptions};
+use polis_estimate::calibrate;
+use polis_rtos::{RtosConfig, Simulator};
+
+fn main() {
+    let base = workloads::dashboard();
+    let stim = dashboard_stimulus(1_500);
+    let opts = SynthesisOptions {
+        profile: polis_vm::Profile::Risc32,
+        ..SynthesisOptions::default()
+    };
+    let params = calibrate(opts.profile);
+    let rtos = RtosConfig {
+        profile: opts.profile,
+        ..RtosConfig::default()
+    };
+
+    // Granularity points: merges of progressively larger islands.
+    let full_names: Vec<&str> = vec![
+        "frc", "rpc", "speedo", "tach", "odometer", "fuel", "pwm_speed", "pwm_fuel",
+    ];
+    let points: Vec<(String, Network)> = vec![
+        ("8 CFSMs (distributed)".to_owned(), base.clone()),
+        (
+            "7 CFSMs (frc+speedo)".to_owned(),
+            compose::compose_subset(&base, &["frc", "speedo"]).expect("merge"),
+        ),
+        (
+            "6 CFSMs (+rpc+tach)".to_owned(),
+            {
+                let n = compose::compose_subset(&base, &["frc", "speedo"]).expect("merge");
+                compose::compose_subset(&n, &["rpc", "tach"]).expect("merge")
+            },
+        ),
+        ("1 CFSM (full product)".to_owned(), {
+            let product = compose::compose(&base).expect("composes");
+            Network::new("dash1", vec![product]).unwrap()
+        }),
+    ];
+    let _ = full_names;
+
+    println!("Granularity sweep (dashboard, Risc32, {} stimuli)\n", stim.len());
+    println!(
+        "| {:<24} | {:>9} | {:>12} | {:>10} |",
+        "granularity", "ROM[B]", "busy cycles", "reactions"
+    );
+    println!("|{}|", "-".repeat(66));
+    let mut roms = Vec::new();
+    let mut cycles = Vec::new();
+    for (label, net) in &points {
+        let rom: u64 = net
+            .cfsms()
+            .iter()
+            .map(|m| synthesize_with_params(m, &opts, &params).measured.size_bytes)
+            .sum();
+        let mut sim = Simulator::build(net, rtos.clone());
+        sim.run(&stim);
+        let total_reactions: u64 = sim.stats().reactions.iter().sum();
+        println!(
+            "| {:<24} | {:>9} | {:>12} | {:>10} |",
+            label,
+            rom,
+            sim.stats().busy_cycles,
+            total_reactions
+        );
+        roms.push(rom);
+        cycles.push(sim.stats().busy_cycles);
+    }
+
+    println!("\nshape checks:");
+    let check = |label: &str, ok: bool| {
+        println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" })
+    };
+    check(
+        "code size grows with island size",
+        roms.last() > roms.first(),
+    );
+    check(
+        "execution time shrinks with island size",
+        cycles.last() < cycles.first(),
+    );
+}

@@ -1,0 +1,59 @@
+//! Shared helpers for the experiment harnesses (`src/bin/table*.rs`) and
+//! criterion benches. Each binary regenerates one table or narrated
+//! experiment of the paper's Section V; see EXPERIMENTS.md for the
+//! recorded outputs and the paper-vs-measured comparison.
+
+use polis_core::{synthesize_with_params, CfsmSynthesis, SynthesisOptions};
+use polis_estimate::{calibrate, CostParams};
+use polis_rtos::Stimulus;
+
+/// Synthesizes every machine of a network under shared calibration.
+pub fn synthesize_all(
+    net: &polis_cfsm::Network,
+    opts: &SynthesisOptions,
+) -> (Vec<CfsmSynthesis>, CostParams) {
+    let params = calibrate(opts.profile);
+    let rs = net
+        .cfsms()
+        .iter()
+        .map(|m| synthesize_with_params(m, opts, &params))
+        .collect();
+    (rs, params)
+}
+
+/// The "large simulation file" of Table III: a deterministic pseudo-random
+/// dashboard sensor stream of `n` events. Sampling windows (`timebase`)
+/// fire often, so a substantial share of the stream cascades through the
+/// whole conversion chain — the internal-communication traffic whose cost
+/// the single-FSM composition eliminates.
+pub fn dashboard_stimulus(n: usize) -> Vec<Stimulus> {
+    let mut out = Vec::with_capacity(n);
+    let mut x: u64 = 0x2545f4914f6cdd1d;
+    let mut t: u64 = 0;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t += 400 + (x % 2_000);
+        match x % 10 {
+            0..=2 => out.push(Stimulus::pure(t, "wheel_pulse")),
+            3..=5 => out.push(Stimulus::pure(t, "eng_pulse")),
+            6 => out.push(Stimulus::valued(t, "fuel_sample", (x >> 8) as i64 % 256)),
+            _ => out.push(Stimulus::pure(t, "timebase")),
+        }
+    }
+    out
+}
+
+/// Relative error in percent, measured against `exact`.
+pub fn pct_err(estimated: u64, exact: u64) -> f64 {
+    if exact == 0 {
+        return 0.0;
+    }
+    (estimated as f64 - exact as f64) / exact as f64 * 100.0
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}

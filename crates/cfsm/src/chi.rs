@@ -1,0 +1,659 @@
+//! The reactive function of a CFSM as a BDD-represented characteristic
+//! function.
+//!
+//! Following Section III-B1, a CFSM transition function is split into tests,
+//! actions, and a purely Boolean *reactive function* `f` mapping subsets of
+//! tests to subsets of actions. `f` is represented by its characteristic
+//! function `χ(x, z)` (Section II-C): `χ = 1` iff output assignment `z` is
+//! allowed for input assignment `x`.
+//!
+//! Input variables of `χ` (in declaration order):
+//!
+//! 1. one presence flag per input signal,
+//! 2. the binary-encoded control state (a sifting group),
+//! 3. one boolean per data test.
+//!
+//! Output variables:
+//!
+//! 1. `consume` — 1 iff some transition fired (drives RTOS event
+//!    consumption, Section IV-D),
+//! 2. one boolean per action,
+//! 3. the binary-encoded next control state (a sifting group).
+//!
+//! The next control state is *unconstrained* when no transition fires, so a
+//! reaction that fires nothing generates no next-state assignment — the
+//! don't-care flexibility of Section III-B2. `χ` is therefore in general an
+//! incompletely specified function; the s-graph builder resolves don't
+//! cares by emitting no assignment (the "cheapest option" in the paper).
+
+use crate::machine::{Cfsm, Guard};
+use polis_bdd::encode::MvVar;
+use polis_bdd::reorder::SiftConfig;
+use polis_bdd::{Bdd, NodeRef};
+use std::collections::HashMap;
+
+/// Which side of the reactive function a variable belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Tested by the reactive function.
+    Input,
+    /// Produced by the reactive function.
+    Output,
+}
+
+/// Location of a BDD variable within the reactive function's variable list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarLoc {
+    /// Input or output side.
+    pub side: Side,
+    /// Index into [`ReactiveFn::inputs`] or [`ReactiveFn::outputs`].
+    pub var: usize,
+    /// Bit position within the variable (0 = MSB), for multi-bit variables.
+    pub bit: usize,
+}
+
+/// What a reactive-function variable means to the synthesized code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfVarKind {
+    /// Presence flag of the input signal with the given index (an RTOS
+    /// event-detection call in generated code).
+    Present {
+        /// Index into [`Cfsm::inputs`].
+        input: usize,
+    },
+    /// The current control state (multi-valued).
+    Ctrl,
+    /// The data test with the given index (an expression evaluation).
+    Test {
+        /// Index into [`Cfsm::tests`].
+        test: usize,
+    },
+    /// The implicit "a transition fired, consume inputs" flag.
+    Consume,
+    /// The action with the given index (an emission or assignment).
+    Action {
+        /// Index into [`Cfsm::actions`].
+        action: usize,
+    },
+    /// The next control state (multi-valued).
+    NextCtrl,
+}
+
+/// One (possibly multi-bit) variable of the reactive function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RfVar {
+    /// Diagnostic name.
+    pub name: String,
+    /// Meaning for synthesis.
+    pub kind: RfVarKind,
+    /// The encoding bits, MSB first (length 1 for booleans).
+    pub bits: Vec<polis_bdd::Var>,
+    /// Domain size (2 for booleans).
+    pub domain: u64,
+}
+
+/// Variable-ordering schemes from Section III-B3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderScheme {
+    /// The declaration order, unsifted ("naive ordering" in Table II).
+    Natural,
+    /// Sifting restricted so all outputs appear after all inputs.
+    OutputsAfterAllInputs,
+    /// Sifting restricted so each output appears after its own support
+    /// (the paper's default: better subgraph sharing, smaller code).
+    OutputsAfterSupport,
+}
+
+/// The BDD of a CFSM's characteristic function, with variable metadata.
+///
+/// Build with [`ReactiveFn::build`], optimize the order with
+/// [`ReactiveFn::sift`], then hand to the s-graph builder.
+#[derive(Debug)]
+pub struct ReactiveFn {
+    name: String,
+    bdd: Bdd,
+    chi: NodeRef,
+    inputs: Vec<RfVar>,
+    outputs: Vec<RfVar>,
+    loc: HashMap<polis_bdd::Var, VarLoc>,
+}
+
+impl ReactiveFn {
+    /// Constructs `χ` for `cfsm`.
+    ///
+    /// Machines with a single control state get no control-state variables
+    /// (the state contributes nothing to the function).
+    pub fn build(cfsm: &Cfsm) -> ReactiveFn {
+        let mut bdd = Bdd::new();
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+
+        // -- input variables --
+        for (i, sig) in cfsm.inputs().iter().enumerate() {
+            let v = bdd.new_var(crate::signal::present_flag_name(sig.name()));
+            inputs.push(RfVar {
+                name: crate::signal::present_flag_name(sig.name()),
+                kind: RfVarKind::Present { input: i },
+                bits: vec![v],
+                domain: 2,
+            });
+        }
+        let nstates = cfsm.states().len() as u64;
+        let ctrl = (nstates > 1).then(|| {
+            let mv = MvVar::new(&mut bdd, "ctrl", nstates);
+            inputs.push(RfVar {
+                name: "ctrl".to_owned(),
+                kind: RfVarKind::Ctrl,
+                bits: mv.bits().to_vec(),
+                domain: nstates,
+            });
+            mv
+        });
+        for (i, t) in cfsm.tests().iter().enumerate() {
+            let v = bdd.new_var(format!("test_{}", t.name));
+            inputs.push(RfVar {
+                name: format!("test_{}", t.name),
+                kind: RfVarKind::Test { test: i },
+                bits: vec![v],
+                domain: 2,
+            });
+        }
+
+        // -- output variables --
+        let consume = bdd.new_var("consume");
+        outputs.push(RfVar {
+            name: "consume".to_owned(),
+            kind: RfVarKind::Consume,
+            bits: vec![consume],
+            domain: 2,
+        });
+        for (i, _) in cfsm.actions().iter().enumerate() {
+            let name = format!("act_{}", cfsm.action_label(i));
+            let v = bdd.new_var(name.clone());
+            outputs.push(RfVar {
+                name,
+                kind: RfVarKind::Action { action: i },
+                bits: vec![v],
+                domain: 2,
+            });
+        }
+        let next_ctrl = (nstates > 1).then(|| {
+            let mv = MvVar::new(&mut bdd, "next_ctrl", nstates);
+            outputs.push(RfVar {
+                name: "next_ctrl".to_owned(),
+                kind: RfVarKind::NextCtrl,
+                bits: mv.bits().to_vec(),
+                domain: nstates,
+            });
+            mv
+        });
+
+        // -- transition conditions with per-state priority resolution --
+        let present_var = |rf: &ReactiveFn, i: usize| {
+            rf.inputs
+                .iter()
+                .find(|v| v.kind == RfVarKind::Present { input: i })
+                .expect("present var")
+                .bits[0]
+        };
+        let test_var = |rf: &ReactiveFn, i: usize| {
+            rf.inputs
+                .iter()
+                .find(|v| v.kind == RfVarKind::Test { test: i })
+                .expect("test var")
+                .bits[0]
+        };
+
+        let mut rf = ReactiveFn {
+            name: cfsm.name().to_owned(),
+            bdd,
+            chi: NodeRef::FALSE,
+            inputs,
+            outputs,
+            loc: HashMap::new(),
+        };
+
+        let mut conds: Vec<NodeRef> = Vec::with_capacity(cfsm.num_transitions());
+        let mut taken_per_state: Vec<NodeRef> =
+            vec![NodeRef::FALSE; cfsm.states().len()];
+        for t in cfsm.transitions() {
+            let in_state = match &ctrl {
+                Some(mv) => mv.eq_const(&mut rf.bdd, t.from as u64),
+                None => NodeRef::TRUE,
+            };
+            let guard = guard_to_bdd(&t.guard, &mut rf, &present_var, &test_var);
+            let raw = rf.bdd.and(in_state, guard);
+            let not_taken = rf.bdd.not(taken_per_state[t.from]);
+            let cond = rf.bdd.and(raw, not_taken);
+            taken_per_state[t.from] = rf.bdd.or(taken_per_state[t.from], raw);
+            conds.push(cond);
+        }
+        let fired = rf.bdd.or_all(conds.iter().copied());
+
+        // -- χ accumulation --
+        let consume_pos = rf.bdd.var(consume);
+        let consume_neg = rf.bdd.nvar(consume);
+        let action_vars: Vec<polis_bdd::Var> = rf
+            .outputs
+            .iter()
+            .filter(|v| matches!(v.kind, RfVarKind::Action { .. }))
+            .map(|v| v.bits[0])
+            .collect();
+
+        let mut chi = NodeRef::FALSE;
+        for (t, &cond) in cfsm.transitions().iter().zip(&conds) {
+            if cond.is_false() {
+                continue;
+            }
+            let mut term = rf.bdd.and(cond, consume_pos);
+            for (ai, &av) in action_vars.iter().enumerate() {
+                let lit = if t.actions.contains(&ai) {
+                    rf.bdd.var(av)
+                } else {
+                    rf.bdd.nvar(av)
+                };
+                term = rf.bdd.and(term, lit);
+            }
+            if let Some(mv) = &next_ctrl {
+                let eq = mv.eq_const(&mut rf.bdd, t.to as u64);
+                term = rf.bdd.and(term, eq);
+            }
+            chi = rf.bdd.or(chi, term);
+        }
+        // Default: nothing fired, nothing emitted, next state unconstrained
+        // (don't care — the implementation keeps the state by not writing).
+        let mut dflt = rf.bdd.not(fired);
+        dflt = rf.bdd.and(dflt, consume_neg);
+        for &av in &action_vars {
+            let lit = rf.bdd.nvar(av);
+            dflt = rf.bdd.and(dflt, lit);
+        }
+        chi = rf.bdd.or(chi, dflt);
+
+        rf.chi = chi;
+        rf.bdd.gc(&[chi]);
+        rf.rebuild_loc();
+        rf
+    }
+
+    fn rebuild_loc(&mut self) {
+        self.loc.clear();
+        for (side, list) in [(Side::Input, &self.inputs), (Side::Output, &self.outputs)] {
+            for (vi, rv) in list.iter().enumerate() {
+                for (bi, &b) in rv.bits.iter().enumerate() {
+                    self.loc.insert(
+                        b,
+                        VarLoc {
+                            side,
+                            var: vi,
+                            bit: bi,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The name of the CFSM this reactive function belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying BDD manager.
+    pub fn bdd(&self) -> &Bdd {
+        &self.bdd
+    }
+
+    /// Mutable access to the manager (for quantification by analyses).
+    pub fn bdd_mut(&mut self) -> &mut Bdd {
+        &mut self.bdd
+    }
+
+    /// The characteristic function.
+    pub fn chi(&self) -> NodeRef {
+        self.chi
+    }
+
+    /// Input variables, in declaration order.
+    pub fn inputs(&self) -> &[RfVar] {
+        &self.inputs
+    }
+
+    /// Output variables, in declaration order.
+    pub fn outputs(&self) -> &[RfVar] {
+        &self.outputs
+    }
+
+    /// Locates a BDD variable within the input/output lists.
+    pub fn locate(&self, v: polis_bdd::Var) -> Option<VarLoc> {
+        self.loc.get(&v).copied()
+    }
+
+    /// Current BDD size of `χ`.
+    pub fn size(&self) -> usize {
+        self.bdd.size(&[self.chi])
+    }
+
+    /// For each output variable, the set of *input* variables in its
+    /// support: the inputs on which the (partially specified) output
+    /// function essentially depends.
+    pub fn output_supports(&mut self) -> Vec<Vec<polis_bdd::Var>> {
+        let all_output_bits: Vec<polis_bdd::Var> = self
+            .outputs
+            .iter()
+            .flat_map(|o| o.bits.iter().copied())
+            .collect();
+        let mut out = Vec::with_capacity(self.outputs.len());
+        for oi in 0..self.outputs.len() {
+            let own: Vec<polis_bdd::Var> = self.outputs[oi].bits.clone();
+            let others = all_output_bits
+                .iter()
+                .copied()
+                .filter(|b| !own.contains(b));
+            let h = self.bdd.exists_all(self.chi, others);
+            let sup: Vec<polis_bdd::Var> = self
+                .bdd
+                .support(h)
+                .into_iter()
+                .filter(|v| matches!(self.loc.get(v), Some(VarLoc { side: Side::Input, .. })))
+                .collect();
+            out.push(sup);
+        }
+        self.bdd.gc(&[self.chi]);
+        out
+    }
+
+    /// Optimizes the variable order by a single sifting pass under the
+    /// constraints of `scheme` (Section III-B3b). Returns the resulting
+    /// BDD size. [`OrderScheme::Natural`] leaves the order untouched.
+    pub fn sift(&mut self, scheme: OrderScheme) -> usize {
+        self.sift_with_passes(scheme, 1)
+    }
+
+    /// Like [`ReactiveFn::sift`] with an explicit pass budget
+    /// (`usize::MAX` = to convergence).
+    pub fn sift_with_passes(&mut self, scheme: OrderScheme, passes: usize) -> usize {
+        if scheme == OrderScheme::Natural {
+            return self.size();
+        }
+        let groups: Vec<Vec<polis_bdd::Var>> = self
+            .inputs
+            .iter()
+            .chain(&self.outputs)
+            .filter(|v| v.bits.len() > 1)
+            .map(|v| v.bits.clone())
+            .collect();
+        let mut precedence = Vec::new();
+        match scheme {
+            OrderScheme::Natural => unreachable!(),
+            OrderScheme::OutputsAfterAllInputs => {
+                for i in &self.inputs {
+                    for o in &self.outputs {
+                        precedence.push((i.bits[0], o.bits[0]));
+                    }
+                }
+            }
+            OrderScheme::OutputsAfterSupport => {
+                let supports = self.output_supports();
+                for (oi, sup) in supports.iter().enumerate() {
+                    for &iv in sup {
+                        precedence.push((iv, self.outputs[oi].bits[0]));
+                    }
+                }
+            }
+        }
+        let config = SiftConfig {
+            precedence,
+            groups,
+            max_passes: passes,
+        };
+        let roots = [self.chi];
+        self.bdd.sift(&roots, &config)
+    }
+}
+
+fn guard_to_bdd(
+    g: &Guard,
+    rf: &mut ReactiveFn,
+    present_var: &impl Fn(&ReactiveFn, usize) -> polis_bdd::Var,
+    test_var: &impl Fn(&ReactiveFn, usize) -> polis_bdd::Var,
+) -> NodeRef {
+    match g {
+        Guard::True => NodeRef::TRUE,
+        Guard::False => NodeRef::FALSE,
+        Guard::Present(i) => {
+            let v = present_var(rf, *i);
+            rf.bdd.var(v)
+        }
+        Guard::Test(i) => {
+            let v = test_var(rf, *i);
+            rf.bdd.var(v)
+        }
+        Guard::Not(x) => {
+            let fx = guard_to_bdd(x, rf, present_var, test_var);
+            rf.bdd.not(fx)
+        }
+        Guard::And(a, b) => {
+            let fa = guard_to_bdd(a, rf, present_var, test_var);
+            let fb = guard_to_bdd(b, rf, present_var, test_var);
+            rf.bdd.and(fa, fb)
+        }
+        Guard::Or(a, b) => {
+            let fa = guard_to_bdd(a, rf, present_var, test_var);
+            let fb = guard_to_bdd(b, rf, present_var, test_var);
+            rf.bdd.or(fa, fb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polis_expr::{Expr, Type, Value};
+
+    fn simple() -> Cfsm {
+        let mut b = Cfsm::builder("simple");
+        b.input_valued("c", Type::uint(8));
+        b.output_pure("y");
+        b.state_var("a", Type::uint(8), Value::Int(0));
+        let s0 = b.ctrl_state("awaiting");
+        let eq = b.test("a_eq_c", Expr::var("a").eq(Expr::var("c_value")));
+        b.transition(s0, s0)
+            .when_present("c")
+            .when_test(eq)
+            .assign("a", Expr::int(0))
+            .emit("y")
+            .done();
+        b.transition(s0, s0)
+            .when_present("c")
+            .when_not_test(eq)
+            .assign("a", Expr::var("a").add(Expr::int(1)))
+            .done();
+        b.build().unwrap()
+    }
+
+    /// A two-state machine to exercise ctrl/next_ctrl encoding.
+    fn toggler() -> Cfsm {
+        let mut b = Cfsm::builder("toggler");
+        b.input_pure("tick");
+        b.output_pure("on");
+        b.output_pure("off");
+        let s_off = b.ctrl_state("off");
+        let s_on = b.ctrl_state("on");
+        b.transition(s_off, s_on).when_present("tick").emit("on").done();
+        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.build().unwrap()
+    }
+
+    fn bit_of(rf: &ReactiveFn, name: &str) -> polis_bdd::Var {
+        rf.inputs()
+            .iter()
+            .chain(rf.outputs())
+            .find(|v| v.name == name)
+            .unwrap_or_else(|| panic!("no rf var {name}"))
+            .bits[0]
+    }
+
+    #[test]
+    fn simple_has_no_ctrl_vars() {
+        let rf = ReactiveFn::build(&simple());
+        assert!(rf.inputs().iter().all(|v| v.kind != RfVarKind::Ctrl));
+        assert!(rf.outputs().iter().all(|v| v.kind != RfVarKind::NextCtrl));
+        // inputs: present_c, test; outputs: consume + 3 actions
+        assert_eq!(rf.inputs().len(), 2);
+        assert_eq!(rf.outputs().len(), 4);
+    }
+
+    #[test]
+    fn simple_chi_is_functional_with_four_input_combos() {
+        let rf = ReactiveFn::build(&simple());
+        // For each of the 4 input combinations exactly one output
+        // assignment satisfies χ (no don't cares here).
+        assert_eq!(rf.bdd().sat_count(rf.chi()), 4);
+    }
+
+    #[test]
+    fn simple_chi_encodes_the_reaction() {
+        let m = simple();
+        let rf = ReactiveFn::build(&m);
+        let pc = bit_of(&rf, "present_c");
+        let tq = bit_of(&rf, "test_a_eq_c");
+        let consume = bit_of(&rf, "consume");
+        // Locate action bits by label.
+        let act = |label: &str| bit_of(&rf, &format!("act_{label}"));
+        let a_zero = act(&format!("set_a_{}", 0)); // first action: a := 0
+        let emit_y = act("emit_y");
+        let a_inc = act(&format!("set_a_{}", 2)); // third action: a := a+1
+
+        // present & equal -> consume, a:=0, emit y
+        let assign1 = |v: polis_bdd::Var| [pc, tq, consume, a_zero, emit_y].contains(&v);
+        assert!(rf.bdd().eval(rf.chi(), assign1));
+        // present & not equal -> consume, a:=a+1 only
+        let assign2 = |v: polis_bdd::Var| [pc, consume, a_inc].contains(&v);
+        assert!(rf.bdd().eval(rf.chi(), assign2));
+        // absent -> nothing
+        let assign3 = |_v: polis_bdd::Var| false;
+        assert!(rf.bdd().eval(rf.chi(), assign3));
+        // absent but consuming -> forbidden
+        let assign4 = |v: polis_bdd::Var| v == consume;
+        assert!(!rf.bdd().eval(rf.chi(), assign4));
+        // present & equal but no emission -> forbidden
+        let assign5 = |v: polis_bdd::Var| [pc, tq, consume, a_zero].contains(&v);
+        assert!(!rf.bdd().eval(rf.chi(), assign5));
+    }
+
+    #[test]
+    fn toggler_has_ctrl_group() {
+        let rf = ReactiveFn::build(&toggler());
+        let ctrl = rf.inputs().iter().find(|v| v.kind == RfVarKind::Ctrl);
+        assert!(ctrl.is_some());
+        assert_eq!(ctrl.unwrap().domain, 2);
+        let nc = rf
+            .outputs()
+            .iter()
+            .find(|v| v.kind == RfVarKind::NextCtrl)
+            .unwrap();
+        assert_eq!(nc.bits.len(), 1);
+    }
+
+    #[test]
+    fn toggler_next_state_is_constrained_when_fired() {
+        let rf = ReactiveFn::build(&toggler());
+        let tick = bit_of(&rf, "present_tick");
+        let ctrl = bit_of(&rf, "ctrl");
+        let consume = bit_of(&rf, "consume");
+        let on = bit_of(&rf, "act_emit_on");
+        let off = bit_of(&rf, "act_emit_off");
+        let nc = bit_of(&rf, "next_ctrl");
+        // off --tick--> on (state 0 -> 1), emits `on`.
+        let a = |v: polis_bdd::Var| [tick, consume, on, nc].contains(&v);
+        assert!(rf.bdd().eval(rf.chi(), a));
+        // wrong next state forbidden
+        let b = |v: polis_bdd::Var| [tick, consume, on].contains(&v);
+        assert!(!rf.bdd().eval(rf.chi(), b));
+        // on --tick--> off, emits `off`.
+        let c = |v: polis_bdd::Var| [tick, ctrl, consume, off].contains(&v);
+        assert!(rf.bdd().eval(rf.chi(), c));
+    }
+
+    #[test]
+    fn default_leaves_next_state_dont_care() {
+        let rf = ReactiveFn::build(&toggler());
+        let nc = bit_of(&rf, "next_ctrl");
+        // tick absent, nothing fires: χ holds for both next_ctrl values.
+        let a0 = |_v: polis_bdd::Var| false;
+        let a1 = |v: polis_bdd::Var| v == nc;
+        assert!(rf.bdd().eval(rf.chi(), a0));
+        assert!(rf.bdd().eval(rf.chi(), a1));
+    }
+
+    #[test]
+    fn output_supports_are_plausible() {
+        let mut rf = ReactiveFn::build(&simple());
+        let sups = rf.output_supports();
+        let pc = bit_of(&rf, "present_c");
+        let tq = bit_of(&rf, "test_a_eq_c");
+        // consume depends on present_c only (it fires for both test values).
+        let consume_idx = rf
+            .outputs()
+            .iter()
+            .position(|v| v.kind == RfVarKind::Consume)
+            .unwrap();
+        assert_eq!(sups[consume_idx], vec![pc]);
+        // every action depends on both inputs
+        for (oi, o) in rf.outputs().iter().enumerate() {
+            if matches!(o.kind, RfVarKind::Action { .. }) {
+                assert!(sups[oi].contains(&pc), "{}", o.name);
+                assert!(sups[oi].contains(&tq), "{}", o.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sifting_respects_outputs_after_support() {
+        let mut rf = ReactiveFn::build(&toggler());
+        rf.sift_with_passes(OrderScheme::OutputsAfterSupport, usize::MAX);
+        let sups = rf.output_supports();
+        for (oi, sup) in sups.iter().enumerate() {
+            let obit = rf.outputs()[oi].bits[0];
+            for &iv in sup {
+                assert!(
+                    rf.bdd().level(iv) < rf.bdd().level(obit),
+                    "output {} sifted above its support",
+                    rf.outputs()[oi].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sifting_respects_outputs_after_all_inputs() {
+        let mut rf = ReactiveFn::build(&toggler());
+        rf.sift_with_passes(OrderScheme::OutputsAfterAllInputs, usize::MAX);
+        let max_in = rf
+            .inputs()
+            .iter()
+            .flat_map(|v| &v.bits)
+            .map(|&b| rf.bdd().level(b))
+            .max()
+            .unwrap();
+        let min_out = rf
+            .outputs()
+            .iter()
+            .flat_map(|v| &v.bits)
+            .map(|&b| rf.bdd().level(b))
+            .min()
+            .unwrap();
+        assert!(max_in < min_out);
+    }
+
+    #[test]
+    fn sifting_never_grows_chi() {
+        for m in [simple(), toggler()] {
+            let mut rf = ReactiveFn::build(&m);
+            let before = rf.size();
+            let after = rf.sift(OrderScheme::OutputsAfterSupport);
+            assert!(after <= before, "{}: {before} -> {after}", m.name());
+        }
+    }
+}

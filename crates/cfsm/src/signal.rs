@@ -1,0 +1,101 @@
+//! Event signals and the naming conventions that tie the model to the
+//! generated C code.
+
+use polis_expr::Type;
+use std::fmt;
+
+/// An event signal: pure (presence only) or valued (presence plus a value
+/// from a finite domain).
+///
+/// The paper's examples: "a temperature sample" is a valued event, "an
+/// excessive pressure alarm" is a pure event (Section II-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    name: String,
+    ty: Option<Type>,
+}
+
+impl Signal {
+    /// A pure (value-less) event signal.
+    pub fn pure(name: impl Into<String>) -> Signal {
+        Signal {
+            name: name.into(),
+            ty: None,
+        }
+    }
+
+    /// A valued event signal carrying values of type `ty`.
+    pub fn valued(name: impl Into<String>, ty: Type) -> Signal {
+        Signal {
+            name: name.into(),
+            ty: Some(ty),
+        }
+    }
+
+    /// The signal's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The value type, or `None` for pure signals.
+    pub fn value_type(&self) -> Option<Type> {
+        self.ty
+    }
+
+    /// `true` if the signal carries a value.
+    pub fn is_valued(&self) -> bool {
+        self.ty.is_some()
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Some(ty) => write!(f, "{}: {}", self.name, ty),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// The expression-level variable holding the value of valued signal `sig`
+/// (the paper writes `?c`; generated C declares `c_value`).
+pub fn value_var_name(sig: &str) -> String {
+    format!("{sig}_value")
+}
+
+/// The boolean s-graph variable indicating `sig` is present in the current
+/// input snapshot (the paper's `present_c`).
+pub fn present_flag_name(sig: &str) -> String {
+    format!("present_{sig}")
+}
+
+/// The boolean s-graph variable indicating `sig` is being emitted in the
+/// current reaction (the paper's `emit_y`).
+pub fn emit_flag_name(sig: &str) -> String {
+    format!("emit_{sig}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_kinds() {
+        let p = Signal::pure("alarm");
+        assert!(!p.is_valued());
+        assert_eq!(p.value_type(), None);
+        assert_eq!(p.to_string(), "alarm");
+
+        let v = Signal::valued("temp", Type::uint(8));
+        assert!(v.is_valued());
+        assert_eq!(v.value_type(), Some(Type::uint(8)));
+        assert_eq!(v.to_string(), "temp: u8");
+    }
+
+    #[test]
+    fn naming_conventions_match_paper() {
+        assert_eq!(present_flag_name("c"), "present_c");
+        assert_eq!(emit_flag_name("y"), "emit_y");
+        assert_eq!(value_var_name("c"), "c_value");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property test: the synchronous product of a random acyclic pipeline is
+//! observationally equivalent to the tick-by-tick synchronous execution of
+//! the original network.
+
+use polis_cfsm::{compose, value_var_name, CfsmState, Cfsm, Network};
+use polis_expr::{Expr, MapEnv, Type, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A two-stage pipeline with randomized guards/actions per stage.
+#[derive(Debug, Clone)]
+struct PipeSpec {
+    stage1_states: usize,
+    stage1_bump: bool,
+    stage2_threshold: i64,
+    stage2_needs_ext: bool,
+}
+
+fn arb_spec() -> impl Strategy<Value = PipeSpec> {
+    (1..=2usize, any::<bool>(), 0..16i64, any::<bool>()).prop_map(
+        |(stage1_states, stage1_bump, stage2_threshold, stage2_needs_ext)| PipeSpec {
+            stage1_states,
+            stage1_bump,
+            stage2_threshold,
+            stage2_needs_ext,
+        },
+    )
+}
+
+fn instantiate(spec: &PipeSpec) -> Network {
+    let mut b = Cfsm::builder("src");
+    b.input_pure("tick");
+    b.input_valued("raw", Type::uint(4));
+    b.output_valued("mid", Type::uint(4));
+    b.state_var("n", Type::uint(4), Value::Int(0));
+    let states: Vec<_> = (0..spec.stage1_states)
+        .map(|i| b.ctrl_state(format!("s{i}")))
+        .collect();
+    for (i, &st) in states.iter().enumerate() {
+        let next = states[(i + 1) % states.len()];
+        let mut tb = b
+            .transition(st, next)
+            .when_present("raw")
+            .emit_value("mid", Expr::var("raw_value").add(Expr::var("n")));
+        if spec.stage1_bump {
+            tb = tb.assign("n", Expr::var("n").add(Expr::int(1)));
+        }
+        tb.done();
+        b.transition(st, st).when_present("tick").done();
+    }
+    let src = b.build().unwrap();
+
+    let mut b = Cfsm::builder("sink");
+    b.input_valued("mid", Type::uint(4));
+    if spec.stage2_needs_ext {
+        b.input_pure("en");
+    }
+    b.output_pure("hit");
+    let s = b.ctrl_state("s");
+    let t = b.test(
+        "thr",
+        Expr::var("mid_value").ge(Expr::int(spec.stage2_threshold)),
+    );
+    let mut tb = b.transition(s, s).when_present("mid").when_test(t);
+    if spec.stage2_needs_ext {
+        tb = tb.when_present("en");
+    }
+    tb.emit("hit").done();
+    let sink = b.build().unwrap();
+
+    Network::new("pipe", vec![src, sink]).unwrap()
+}
+
+/// Synchronous tick of the network in topological order (the composition's
+/// reference semantics).
+fn sync_tick(
+    net: &Network,
+    present_ext: &BTreeSet<String>,
+    values: &MapEnv,
+    states: &mut [CfsmState],
+) -> Vec<(String, Option<i64>)> {
+    let topo = net.topo_order().expect("acyclic");
+    let mut present = present_ext.clone();
+    let mut vals = values.clone();
+    let mut out = Vec::new();
+    for &mi in &topo {
+        let m = &net.cfsms()[mi];
+        let r = m.react(&present, &vals, &states[mi]).unwrap();
+        for e in &r.emissions {
+            out.push((e.signal.clone(), e.value.map(|v| v.as_int().unwrap())));
+            present.insert(e.signal.clone());
+            if let Some(v) = e.value {
+                vals.set(value_var_name(&e.signal), v);
+            }
+        }
+        states[mi] = r.next;
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn product_equals_synchronous_reference(
+        spec in arb_spec(),
+        stim in proptest::collection::vec(
+            (any::<bool>(), any::<bool>(), any::<bool>(), 0..16i64), 1..10),
+    ) {
+        let net = instantiate(&spec);
+        let product = compose::compose(&net).expect("composes");
+
+        let mut ref_states: Vec<CfsmState> =
+            net.cfsms().iter().map(|m| m.initial_state()).collect();
+        let mut p_state = product.initial_state();
+
+        for (tick, raw, en, rawv) in stim {
+            let mut present = BTreeSet::new();
+            if tick {
+                present.insert("tick".to_string());
+            }
+            if raw {
+                present.insert("raw".to_string());
+            }
+            if en && spec.stage2_needs_ext {
+                present.insert("en".to_string());
+            }
+            let mut vals = MapEnv::new();
+            vals.set("raw_value", Value::Int(rawv));
+
+            let want = sync_tick(&net, &present, &vals, &mut ref_states);
+            let r = product.react(&present, &vals, &p_state).unwrap();
+            p_state = r.next;
+            let mut got: Vec<(String, Option<i64>)> = r
+                .emissions
+                .iter()
+                .map(|e| (e.signal.clone(), e.value.map(|v| v.as_int().unwrap())))
+                .collect();
+            got.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn product_state_count_bounded_by_tuple_product(spec in arb_spec()) {
+        let net = instantiate(&spec);
+        let product = compose::compose(&net).expect("composes");
+        let bound: usize = net.cfsms().iter().map(|m| m.states().len()).product();
+        prop_assert!(product.states().len() <= bound);
+        prop_assert!(!product.states().is_empty());
+    }
+}

@@ -1,0 +1,561 @@
+//! The s-graph → C translator (Section III-B4).
+
+use polis_cfsm::{value_var_name, Action, Cfsm, Network};
+use polis_expr::{CStyle, Expr};
+use polis_sgraph::{
+    analysis, AssignLabel, BufferPolicy, Cond, ComputedTarget, NodeId, SGraph, SNode, TestLabel,
+};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Options for [`emit_c`].
+#[derive(Debug, Clone, Copy)]
+pub struct CodegenOptions {
+    /// Expression rendering: infix operators or software-library calls
+    /// (`ADD(x, y)`) for compilers without multi-byte arithmetic.
+    pub style: CStyle,
+    /// Minimum number of children for a multi-way TEST to be emitted as a
+    /// `switch` rather than an `if` chain — "a target-dependent parameter
+    /// can be used to specify how many children a TEST node must have in
+    /// order to make an if-based implementation more convenient than a
+    /// switch-based one."
+    pub switch_threshold: usize,
+    /// Entry-copy buffering policy (Section V-B).
+    pub buffering: BufferPolicy,
+    /// Annotate statements with the specification constructs they came
+    /// from, the role played by the paper's "compiler directives that
+    /// relate directly the object code with the source language files"
+    /// for source-level debugging.
+    pub source_comments: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> CodegenOptions {
+        CodegenOptions {
+            style: CStyle::Infix,
+            switch_threshold: 3,
+            buffering: BufferPolicy::All,
+            source_comments: false,
+        }
+    }
+}
+
+/// Emits the C routine implementing one CFSM reaction from its s-graph.
+///
+/// The output is one `void <name>_react(struct <name>_state *st)` function
+/// in the paper's goto style, plus the state struct and its initializer.
+/// RTOS interaction goes through `POLIS_*` macros declared by
+/// [`emit_network_header`].
+pub fn emit_c(cfsm: &Cfsm, g: &SGraph, opts: &CodegenOptions) -> String {
+    let name = g.name();
+    let buffered: BTreeSet<String> = match opts.buffering {
+        BufferPolicy::All => analysis::vars_referenced(cfsm, g),
+        BufferPolicy::Minimal => analysis::vars_needing_buffer(cfsm, g),
+    };
+    let multi_state = cfsm.states().len() > 1;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* synthesized by polis from CFSM `{name}` -- generated code, do not edit */"
+    );
+    let _ = writeln!(out, "#include \"polis_rtos.h\"\n");
+
+    // State struct + initializer.
+    let _ = writeln!(out, "struct {name}_state {{");
+    for v in cfsm.state_vars() {
+        let _ = writeln!(out, "    {} {};", v.ty.c_type(), v.name);
+    }
+    if multi_state {
+        let _ = writeln!(out, "    unsigned char ctrl;");
+    }
+    let _ = writeln!(out, "}};\n");
+    let _ = writeln!(out, "void {name}_init(struct {name}_state *st)\n{{");
+    for v in cfsm.state_vars() {
+        let _ = writeln!(out, "    st->{} = {};", v.name, v.init);
+    }
+    if multi_state {
+        let _ = writeln!(out, "    st->ctrl = {};", cfsm.init_state());
+    }
+    let _ = writeln!(out, "}}\n");
+
+    // Reaction routine.
+    let _ = writeln!(out, "void {name}_react(struct {name}_state *st)\n{{");
+    for b in &buffered {
+        let ty = cfsm.state_vars()[cfsm.state_var_index(b).expect("state var")].ty;
+        let _ = writeln!(out, "    {} {} = st->{};", ty.c_type(), b, b);
+    }
+    if multi_state {
+        let _ = writeln!(out, "    unsigned char ctrl = st->ctrl;");
+    }
+
+    let mut e = CEmitter {
+        cfsm,
+        g,
+        opts,
+        buffered,
+        out: String::new(),
+        emitted: vec![false; g.len()],
+    };
+    e.emit_node(g.begin_next());
+    out.push_str(&e.out);
+    let _ = writeln!(out, "L{}: return;", NodeId::END.index());
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Emits the `polis_rtos.h` header shared by every routine of a network:
+/// RTOS macros and signal identifiers.
+pub fn emit_network_header(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "/* polis_rtos.h -- generated for network `{}` */", net.name());
+    let _ = writeln!(out, "#ifndef POLIS_RTOS_H\n#define POLIS_RTOS_H\n");
+    let mut signals: BTreeSet<String> = BTreeSet::new();
+    for m in net.cfsms() {
+        for s in m.inputs().iter().chain(m.outputs()) {
+            signals.insert(s.name().to_owned());
+        }
+    }
+    for (i, s) in signals.iter().enumerate() {
+        let _ = writeln!(out, "#define POLIS_SIG_{s} {i}");
+    }
+    out.push_str(
+        "\n/* Provided by the generated RTOS: */\n\
+         extern unsigned char polis_detect(int sig);\n\
+         extern long polis_value(int sig);\n\
+         extern void polis_emit(int sig);\n\
+         extern void polis_emit_value(int sig, long v);\n\
+         extern void polis_consume(void);\n\n\
+         #define POLIS_DETECT(sig) polis_detect(POLIS_SIG_##sig)\n\
+         #define POLIS_VALUE(sig) polis_value(POLIS_SIG_##sig)\n\
+         #define POLIS_EMIT(sig) polis_emit(POLIS_SIG_##sig)\n\
+         #define POLIS_EMIT_VALUE(sig, v) polis_emit_value(POLIS_SIG_##sig, (v))\n\
+         #define POLIS_CONSUME() polis_consume()\n\
+         #define MIN(a, b) ((a) < (b) ? (a) : (b))\n\
+         #define MAX(a, b) ((a) > (b) ? (a) : (b))\n\n\
+         #endif /* POLIS_RTOS_H */\n",
+    );
+    out
+}
+
+struct CEmitter<'a> {
+    cfsm: &'a Cfsm,
+    g: &'a SGraph,
+    opts: &'a CodegenOptions,
+    buffered: BTreeSet<String>,
+    out: String,
+    emitted: Vec<bool>,
+}
+
+impl CEmitter<'_> {
+    /// A trailing source-reference comment (empty when disabled).
+    fn src(&self, text: impl AsRef<str>) -> String {
+        if self.opts.source_comments {
+            format!(" /* {} */", text.as_ref())
+        } else {
+            String::new()
+        }
+    }
+
+    /// Renders an expression with variables bound to their C locations.
+    fn expr(&self, e: &Expr) -> String {
+        let renamed = e.rename_vars(&|n| {
+            if self.buffered.contains(n) {
+                n.to_owned() // entry copy: plain local
+            } else if self.cfsm.state_var_index(n).is_some() {
+                format!("st->{n}")
+            } else {
+                // An input value variable `sig_value`.
+                for sig in self.cfsm.inputs() {
+                    if sig.is_valued() && value_var_name(sig.name()) == n {
+                        return format!("POLIS_VALUE({})", sig.name());
+                    }
+                }
+                unreachable!("validation guarantees known variables")
+            }
+        });
+        renamed.to_c_styled(self.opts.style)
+    }
+
+    fn cond(&self, c: &Cond) -> String {
+        match c {
+            Cond::Const(b) => u8::from(*b).to_string(),
+            Cond::Present(i) => {
+                format!("POLIS_DETECT({})", self.cfsm.inputs()[*i].name())
+            }
+            Cond::Test(t) => self.expr(&self.cfsm.tests()[*t].expr),
+            Cond::CtrlBit { bit, width } => {
+                format!("((ctrl >> {}) & 1)", width - 1 - bit)
+            }
+            Cond::Not(a) => format!("(!{})", self.cond(a)),
+            Cond::And(a, b) => format!("({} && {})", self.cond(a), self.cond(b)),
+            Cond::Or(a, b) => format!("({} || {})", self.cond(a), self.cond(b)),
+        }
+    }
+
+    fn goto(&mut self, id: NodeId) {
+        if self.emitted[id.index()] || id == NodeId::END {
+            let _ = writeln!(self.out, "    goto L{};", id.index());
+        } else {
+            self.emit_node(id);
+        }
+    }
+
+    fn emit_node(&mut self, id: NodeId) {
+        self.emitted[id.index()] = true;
+        let _ = writeln!(self.out, "L{}:", id.index());
+        match self.g.node(id).clone() {
+            SNode::Begin { .. } => unreachable!("emission starts after BEGIN"),
+            SNode::End => unreachable!("END emitted by the epilogue"),
+            SNode::Test { label, children } => {
+                match &label {
+                    TestLabel::Present { input } => {
+                        let sig = self.cfsm.inputs()[*input].name();
+                        let _ = writeln!(
+                            self.out,
+                            "    if (POLIS_DETECT({sig})) goto L{};",
+                            children[1].index()
+                        );
+                    }
+                    TestLabel::TestExpr { test } => {
+                        let e = self.expr(&self.cfsm.tests()[*test].expr);
+                        let note = self.src(format!("test `{}`", self.cfsm.tests()[*test].name));
+                        let _ = writeln!(
+                            self.out,
+                            "    if ({e}) goto L{};{note}",
+                            children[1].index()
+                        );
+                    }
+                    TestLabel::CtrlBit { bit, width } => {
+                        let _ = writeln!(
+                            self.out,
+                            "    if ((ctrl >> {}) & 1) goto L{};",
+                            width - 1 - bit,
+                            children[1].index()
+                        );
+                    }
+                    TestLabel::Compound { cond } => {
+                        let c = self.cond(cond);
+                        let _ =
+                            writeln!(self.out, "    if ({c}) goto L{};", children[1].index());
+                    }
+                    TestLabel::CtrlSwitch { .. } => {
+                        if children.len() >= self.opts.switch_threshold {
+                            let _ = writeln!(self.out, "    switch (ctrl) {{");
+                            for (v, c) in children.iter().enumerate() {
+                                let _ = writeln!(
+                                    self.out,
+                                    "    case {v}: goto L{};",
+                                    c.index()
+                                );
+                            }
+                            let _ = writeln!(self.out, "    }}");
+                        } else {
+                            for (v, c) in children.iter().enumerate().skip(1) {
+                                let _ = writeln!(
+                                    self.out,
+                                    "    if (ctrl == {v}) goto L{};",
+                                    c.index()
+                                );
+                            }
+                        }
+                        // Default arm falls through to child 0.
+                        self.goto(children[0]);
+                        for &c in &children {
+                            if !self.emitted[c.index()] && c != NodeId::END {
+                                self.emit_node(c);
+                            }
+                        }
+                        return;
+                    }
+                }
+                // Binary: fall through to the false child.
+                self.goto(children[0]);
+                if !self.emitted[children[1].index()] && children[1] != NodeId::END {
+                    self.emit_node(children[1]);
+                }
+            }
+            SNode::Assign { label, next } => {
+                match &label {
+                    AssignLabel::Consume => {
+                        let note = self.src("transition fired: consume input snapshot");
+                        let _ = writeln!(self.out, "    POLIS_CONSUME();{note}");
+                    }
+                    AssignLabel::Action { action } => self.emit_action(*action, None),
+                    AssignLabel::NextCtrlBits { bits, width } => {
+                        if self.opts.source_comments && bits.len() == *width {
+                            let mut state = 0usize;
+                            for &(bit, v) in bits {
+                                if v {
+                                    state |= 1 << (width - 1 - bit);
+                                }
+                            }
+                            if let Some(name) = self.cfsm.states().get(state) {
+                                let _ = writeln!(self.out, "    /* goto state `{name}` */");
+                            }
+                        }
+                        self.emit_ctrl_bits(bits, *width);
+                    }
+                    AssignLabel::Computed { target, cond } => {
+                        let c = self.cond(cond);
+                        match target {
+                            ComputedTarget::Consume => {
+                                let _ = writeln!(self.out, "    if ({c}) POLIS_CONSUME();");
+                            }
+                            ComputedTarget::Action { action } => {
+                                self.emit_action(*action, Some(&c));
+                            }
+                            ComputedTarget::CtrlBit { bit, width } => {
+                                let shift = width - 1 - bit;
+                                let _ = writeln!(
+                                    self.out,
+                                    "    st->ctrl = (st->ctrl & ~(1 << {shift})) | (({c}) << {shift});"
+                                );
+                            }
+                        }
+                    }
+                }
+                self.goto(next);
+            }
+        }
+    }
+
+    fn emit_action(&mut self, action: usize, guard: Option<&str>) {
+        let prefix = match guard {
+            Some(c) => format!("    if ({c}) "),
+            None => "    ".to_owned(),
+        };
+        match &self.cfsm.actions()[action] {
+            Action::Emit {
+                signal,
+                value: None,
+            } => {
+                let sig = self.cfsm.outputs()[*signal].name();
+                let _ = writeln!(self.out, "{prefix}POLIS_EMIT({sig});");
+            }
+            Action::Emit {
+                signal,
+                value: Some(e),
+            } => {
+                let sig = self.cfsm.outputs()[*signal].name();
+                let v = self.expr(e);
+                let _ = writeln!(self.out, "{prefix}POLIS_EMIT_VALUE({sig}, {v});");
+            }
+            Action::Assign { var, value } => {
+                let name = &self.cfsm.state_vars()[*var].name;
+                let v = self.expr(value);
+                let _ = writeln!(self.out, "{prefix}st->{name} = {v};");
+            }
+        }
+    }
+
+    fn emit_ctrl_bits(&mut self, bits: &[(usize, bool)], width: usize) {
+        // Full-width writes collapse to a constant store.
+        if bits.len() == width {
+            let mut value = 0u64;
+            let mut mask = 0u64;
+            for &(bit, v) in bits {
+                let m = 1u64 << (width - 1 - bit);
+                mask |= m;
+                if v {
+                    value |= m;
+                }
+            }
+            if mask == (1u64 << width) - 1 {
+                let _ = writeln!(self.out, "    st->ctrl = {value};");
+                return;
+            }
+        }
+        for &(bit, v) in bits {
+            let shift = width - 1 - bit;
+            if v {
+                let _ = writeln!(self.out, "    st->ctrl |= (1 << {shift});");
+            } else {
+                let _ = writeln!(self.out, "    st->ctrl &= ~(1 << {shift});");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polis_cfsm::ReactiveFn;
+    use polis_expr::{Type, Value};
+    use polis_sgraph::{build, ite_chain};
+
+    fn simple() -> Cfsm {
+        let mut b = Cfsm::builder("simple");
+        b.input_valued("c", Type::uint(8));
+        b.output_pure("y");
+        b.state_var("a", Type::uint(8), Value::Int(0));
+        let s0 = b.ctrl_state("awaiting");
+        let eq = b.test("a_eq_c", Expr::var("a").eq(Expr::var("c_value")));
+        b.transition(s0, s0)
+            .when_present("c")
+            .when_test(eq)
+            .assign("a", Expr::int(0))
+            .emit("y")
+            .done();
+        b.transition(s0, s0)
+            .when_present("c")
+            .when_not_test(eq)
+            .assign("a", Expr::var("a").add(Expr::int(1)))
+            .done();
+        b.build().unwrap()
+    }
+
+    fn toggler() -> Cfsm {
+        let mut b = Cfsm::builder("toggler");
+        b.input_pure("tick");
+        b.output_pure("on");
+        b.output_pure("off");
+        let s_off = b.ctrl_state("off");
+        let s_on = b.ctrl_state("on");
+        b.transition(s_off, s_on).when_present("tick").emit("on").done();
+        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn simple_c_has_expected_shape() {
+        let m = simple();
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        let c = emit_c(&m, &g, &CodegenOptions::default());
+        assert!(c.contains("struct simple_state"));
+        assert!(c.contains("void simple_init"));
+        assert!(c.contains("void simple_react"));
+        assert!(c.contains("POLIS_DETECT(c)"));
+        assert!(c.contains("POLIS_EMIT(y);"));
+        assert!(c.contains("POLIS_CONSUME();"));
+        assert!(c.contains("goto L"));
+        assert!(c.contains("POLIS_VALUE(c)"));
+        // the a := a + 1 action
+        assert!(c.contains("+ 1"), "{c}");
+    }
+
+    #[test]
+    fn lib_call_style_renders_function_calls() {
+        let m = simple();
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        let c = emit_c(
+            &m,
+            &g,
+            &CodegenOptions {
+                style: CStyle::LibCalls,
+                ..CodegenOptions::default()
+            },
+        );
+        assert!(c.contains("ADD("), "{c}");
+        assert!(c.contains("EQ("), "{c}");
+    }
+
+    #[test]
+    fn minimal_buffering_omits_entry_copies_when_safe() {
+        let m = simple();
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        let all = emit_c(&m, &g, &CodegenOptions::default());
+        let min = emit_c(
+            &m,
+            &g,
+            &CodegenOptions {
+                buffering: BufferPolicy::Minimal,
+                ..CodegenOptions::default()
+            },
+        );
+        // All: local copy `unsigned char a = st->a;` present; Minimal: not.
+        assert!(all.contains("unsigned char a = st->a;"));
+        assert!(!min.contains("unsigned char a = st->a;"));
+    }
+
+    #[test]
+    fn multi_state_machines_reference_ctrl() {
+        let m = toggler();
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        let c = emit_c(&m, &g, &CodegenOptions::default());
+        assert!(c.contains("unsigned char ctrl = st->ctrl;"));
+        assert!(c.contains("st->ctrl = "));
+        assert!(c.contains("ctrl >> 0"));
+    }
+
+    #[test]
+    fn ite_chain_emits_guarded_assignments() {
+        let m = simple();
+        let mut rf = ReactiveFn::build(&m);
+        let g = ite_chain(&mut rf);
+        let c = emit_c(&m, &g, &CodegenOptions::default());
+        assert!(c.contains("if ("));
+        assert!(c.contains("POLIS_CONSUME()"));
+        // No test labels -> no `goto Lx;` other than the END fallthrough.
+        assert!(c.contains("POLIS_EMIT(y);"));
+    }
+
+    #[test]
+    fn header_declares_macros_and_signals() {
+        let net = Network::new("n", vec![simple()]).unwrap();
+        let h = emit_network_header(&net);
+        assert!(h.contains("#define POLIS_SIG_c"));
+        assert!(h.contains("#define POLIS_SIG_y"));
+        assert!(h.contains("POLIS_DETECT"));
+        assert!(h.contains("POLIS_EMIT_VALUE"));
+        assert!(h.contains("#endif"));
+    }
+
+    #[test]
+    fn source_comments_reference_the_specification() {
+        let m = toggler();
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        let annotated = emit_c(
+            &m,
+            &g,
+            &CodegenOptions {
+                source_comments: true,
+                ..CodegenOptions::default()
+            },
+        );
+        assert!(annotated.contains("/* transition fired"), "{annotated}");
+        assert!(annotated.contains("/* goto state `"), "{annotated}");
+        let plain = emit_c(&m, &g, &CodegenOptions::default());
+        assert!(!plain.contains("/* goto state"));
+
+        let m = simple();
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        let annotated = emit_c(
+            &m,
+            &g,
+            &CodegenOptions {
+                source_comments: true,
+                ..CodegenOptions::default()
+            },
+        );
+        assert!(annotated.contains("/* test `a_eq_c` */"), "{annotated}");
+    }
+
+    #[test]
+    fn every_goto_targets_an_emitted_label() {
+        let m = toggler();
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        let c = emit_c(&m, &g, &CodegenOptions::default());
+        let labels: BTreeSet<&str> = c
+            .lines()
+            .filter(|l| l.starts_with('L') && l.contains(':'))
+            .map(|l| l.split(':').next().unwrap())
+            .collect();
+        for line in c.lines() {
+            if let Some(pos) = line.find("goto ") {
+                let target = line[pos + 5..].trim_end_matches(';').trim();
+                assert!(
+                    labels.contains(target),
+                    "goto {target} has no label:\n{c}"
+                );
+            }
+        }
+    }
+}

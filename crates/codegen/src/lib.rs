@@ -1,0 +1,42 @@
+//! C code generation from s-graphs, plus the two-level-jump baseline.
+//!
+//! Section III-B4: "the final translation of the s-graph into C ... is
+//! straightforward due to the direct correspondence between s-graph node
+//! types and basic C primitives": a TEST becomes an `if`/`switch` with
+//! `goto`s, an ASSIGN becomes an assignment or an RTOS call. The result is
+//! deliberately unstructured — "almost like a portable assembly code" — so
+//! a general-purpose C compiler cannot undo the BDD-level optimizations.
+//!
+//! [`two_level_sgraph`] reproduces the reference implementation of
+//! Table II: a first jump on the current state and a complete decision
+//! structure over the decision variables of that state, "similar to what is
+//! often done during structured hand-coding of reactive systems".
+//!
+//! # Examples
+//!
+//! ```
+//! use polis_cfsm::{Cfsm, ReactiveFn};
+//! use polis_codegen::{emit_c, CodegenOptions};
+//! use polis_sgraph::build;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = Cfsm::builder("blinker");
+//! b.input_pure("tick");
+//! b.output_pure("led");
+//! let s = b.ctrl_state("s");
+//! b.transition(s, s).when_present("tick").emit("led").done();
+//! let m = b.build()?;
+//! let rf = ReactiveFn::build(&m);
+//! let sg = build(&rf)?;
+//! let c = emit_c(&m, &sg, &CodegenOptions::default());
+//! assert!(c.contains("void blinker_react"));
+//! assert!(c.contains("POLIS_DETECT(tick)"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod c_emit;
+mod two_level;
+
+pub use c_emit::{emit_c, emit_network_header, CodegenOptions};
+pub use two_level::two_level_sgraph;

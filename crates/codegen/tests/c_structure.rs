@@ -1,0 +1,170 @@
+//! Structural well-formedness of the generated C across every workload
+//! machine, implementation style, and buffering policy: balanced braces,
+//! resolved gotos, unique labels, and sane macro usage. (We cannot run a
+//! C compiler here, so these checks stand in for `cc -fsyntax-only`.)
+
+use polis_cfsm::{Cfsm, OrderScheme, ReactiveFn};
+use polis_codegen::{emit_c, two_level_sgraph, CodegenOptions};
+use polis_expr::CStyle;
+use polis_lang::parse_network;
+use polis_sgraph::{build, ite_chain, BufferPolicy, SGraph};
+use std::collections::BTreeSet;
+
+fn workload_machines() -> Vec<Cfsm> {
+    // Inline copies of the core workloads (codegen cannot depend on
+    // polis-core without a cycle) plus a couple of stress shapes.
+    let dashboard = r#"
+        module counter {
+            input pulse, window;
+            output ticks : u8;
+            var cnt : u8 := 0;
+            state counting, saturated;
+            from counting to counting when window do { emit ticks(cnt); cnt := 0; }
+            from counting to saturated when pulse && [cnt >= 200] ;
+            from counting to counting when pulse do { cnt := cnt + 1; }
+            from saturated to counting when window do { emit ticks(cnt); cnt := 0; }
+        }
+        module scaler {
+            input ticks : u8;
+            output level : u16;
+            state s;
+            from s to s when ticks do { emit level(?ticks * 3 + 1); }
+        }
+        module gate {
+            input level : u16, enable;
+            output high, low;
+            var thr : u16 := 50;
+            state armed, idle;
+            from idle to armed when enable;
+            from armed to idle when enable;
+            from armed to armed when level && [?level >= thr] do { emit high; }
+            from armed to armed when level do { emit low; }
+        }
+    "#;
+    parse_network("w", dashboard)
+        .expect("workload parses")
+        .cfsms()
+        .to_vec()
+}
+
+fn graphs_for(m: &Cfsm) -> Vec<(String, SGraph)> {
+    let mut out = Vec::new();
+    for scheme in [
+        OrderScheme::Natural,
+        OrderScheme::OutputsAfterAllInputs,
+        OrderScheme::OutputsAfterSupport,
+    ] {
+        let mut rf = ReactiveFn::build(m);
+        rf.sift(scheme);
+        out.push((format!("{scheme:?}"), build(&rf).expect("builds")));
+    }
+    let mut rf = ReactiveFn::build(m);
+    out.push(("IteChain".to_owned(), ite_chain(&mut rf)));
+    out.push(("TwoLevel".to_owned(), two_level_sgraph(m)));
+    out
+}
+
+fn check_c(label: &str, c: &str) {
+    // Balanced braces and parentheses.
+    let balance = |open: char, close: char| {
+        let mut depth = 0i64;
+        for ch in c.chars() {
+            if ch == open {
+                depth += 1;
+            } else if ch == close {
+                depth -= 1;
+            }
+            assert!(depth >= 0, "{label}: unbalanced {open}{close}\n{c}");
+        }
+        assert_eq!(depth, 0, "{label}: unbalanced {open}{close}\n{c}");
+    };
+    balance('{', '}');
+    balance('(', ')');
+
+    // Labels are unique; every goto targets one.
+    let mut labels = BTreeSet::new();
+    for line in c.lines() {
+        let t = line.trim_start();
+        if t.starts_with('L') && t.contains(':') {
+            let name = t.split(':').next().unwrap();
+            if name[1..].chars().all(|c| c.is_ascii_digit()) {
+                assert!(labels.insert(name.to_owned()), "{label}: duplicate {name}");
+            }
+        }
+    }
+    for line in c.lines() {
+        if let Some(pos) = line.find("goto ") {
+            let target = line[pos + 5..].trim_end_matches(';').trim();
+            assert!(
+                labels.contains(target),
+                "{label}: goto {target} unresolved\n{c}"
+            );
+        }
+    }
+
+    // Statements end with semicolons (spot check on macro lines).
+    for line in c.lines() {
+        let t = line.trim();
+        if t.starts_with("POLIS_EMIT") || t.starts_with("POLIS_CONSUME") {
+            assert!(t.ends_with(';'), "{label}: missing semicolon: {t}");
+        }
+    }
+    // Exactly one return (the single END label).
+    assert_eq!(
+        c.matches("return;").count(),
+        1,
+        "{label}: expected exactly one return"
+    );
+}
+
+#[test]
+fn generated_c_is_structurally_sound_everywhere() {
+    for m in workload_machines() {
+        for (style_label, g) in graphs_for(&m) {
+            for buffering in [BufferPolicy::All, BufferPolicy::Minimal] {
+                for cstyle in [CStyle::Infix, CStyle::LibCalls] {
+                    let opts = CodegenOptions {
+                        style: cstyle,
+                        buffering,
+                        ..CodegenOptions::default()
+                    };
+                    let c = emit_c(&m, &g, &opts);
+                    check_c(
+                        &format!("{}/{}/{:?}/{:?}", m.name(), style_label, buffering, cstyle),
+                        &c,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn switch_threshold_changes_dispatch_form() {
+    // gate has 2 states; with a low threshold the CtrlSwitch may emit a
+    // `switch`, with a high threshold an `if` chain.
+    let machines = workload_machines();
+    let gate = machines.iter().find(|m| m.name() == "gate").unwrap();
+    let g = two_level_sgraph(gate);
+    let low = emit_c(
+        gate,
+        &g,
+        &CodegenOptions {
+            switch_threshold: 2,
+            ..CodegenOptions::default()
+        },
+    );
+    let high = emit_c(
+        gate,
+        &g,
+        &CodegenOptions {
+            switch_threshold: 99,
+            ..CodegenOptions::default()
+        },
+    );
+    assert!(low.contains("switch (ctrl)"), "{low}");
+    assert!(!high.contains("switch (ctrl)"), "{high}");
+    assert!(high.contains("if (ctrl == 1)"), "{high}");
+    check_c("gate/switch-low", &low);
+    check_c("gate/switch-high", &high);
+}

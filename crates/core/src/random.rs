@@ -1,0 +1,171 @@
+//! Random CFSM and network generation for benchmarks and stress tests.
+
+use polis_cfsm::{Cfsm, Network};
+use polis_expr::{Expr, Type, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for [`random_cfsm`] / [`random_network`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSpec {
+    /// Number of control states (≥ 1).
+    pub states: usize,
+    /// Pure input events.
+    pub pure_inputs: usize,
+    /// Valued input events (u8).
+    pub valued_inputs: usize,
+    /// Pure output events.
+    pub outputs: usize,
+    /// Data state variables (u8).
+    pub vars: usize,
+    /// Transitions.
+    pub transitions: usize,
+}
+
+impl Default for RandomSpec {
+    fn default() -> RandomSpec {
+        RandomSpec {
+            states: 3,
+            pure_inputs: 2,
+            valued_inputs: 1,
+            outputs: 2,
+            vars: 1,
+            transitions: 8,
+        }
+    }
+}
+
+/// Generates a deterministic pseudo-random CFSM from `seed`.
+pub fn random_cfsm(name: &str, spec: &RandomSpec, seed: u64) -> Cfsm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Cfsm::builder(name);
+    for i in 0..spec.pure_inputs {
+        b.input_pure(format!("p{i}"));
+    }
+    for i in 0..spec.valued_inputs {
+        b.input_valued(format!("v{i}"), Type::uint(8));
+    }
+    for i in 0..spec.outputs {
+        b.output_pure(format!("o{i}"));
+    }
+    for i in 0..spec.vars {
+        b.state_var(format!("x{i}"), Type::uint(8), Value::Int(0));
+    }
+    let states: Vec<_> = (0..spec.states.max(1))
+        .map(|i| b.ctrl_state(format!("s{i}")))
+        .collect();
+    // A few comparison tests between variables and event values.
+    let mut tests = Vec::new();
+    for i in 0..spec.vars.min(spec.valued_inputs).max(1) {
+        let var = format!("x{}", i % spec.vars.max(1));
+        let val = if spec.valued_inputs > 0 {
+            Expr::var(format!("v{}_value", i % spec.valued_inputs))
+        } else {
+            Expr::int(7)
+        };
+        if spec.vars > 0 {
+            tests.push(b.test(format!("t{i}"), Expr::var(var).lt(val)));
+        }
+    }
+    let n_inputs = spec.pure_inputs + spec.valued_inputs;
+    for _ in 0..spec.transitions {
+        let from = states[rng.gen_range(0..states.len())];
+        let to = states[rng.gen_range(0..states.len())];
+        let mut tb = b.transition(from, to);
+        // Require at least one presence atom so reactions are triggered.
+        let trig = rng.gen_range(0..n_inputs);
+        let name = if trig < spec.pure_inputs {
+            format!("p{trig}")
+        } else {
+            format!("v{}", trig - spec.pure_inputs)
+        };
+        tb = tb.when_present(&name);
+        if !tests.is_empty() && rng.gen_bool(0.5) {
+            let t = tests[rng.gen_range(0..tests.len())];
+            tb = if rng.gen_bool(0.5) {
+                tb.when_test(t)
+            } else {
+                tb.when_not_test(t)
+            };
+        }
+        if spec.outputs > 0 && rng.gen_bool(0.7) {
+            tb = tb.emit(&format!("o{}", rng.gen_range(0..spec.outputs)));
+        }
+        if spec.vars > 0 && rng.gen_bool(0.6) {
+            let v = format!("x{}", rng.gen_range(0..spec.vars));
+            let e = if rng.gen_bool(0.5) {
+                Expr::var(v.clone()).add(Expr::int(1))
+            } else {
+                Expr::int(rng.gen_range(0..16))
+            };
+            tb = tb.assign(&v, e);
+        }
+        tb.done();
+    }
+    b.build().expect("generated machine is valid")
+}
+
+/// Generates a pipeline network of `n` random machines where machine `k`
+/// consumes an event emitted by machine `k-1`.
+pub fn random_network(n: usize, _spec: &RandomSpec, seed: u64) -> Network {
+    let mut machines = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut b = Cfsm::builder(format!("m{k}"));
+        // External trigger plus the internal feed from the previous stage.
+        b.input_pure(format!("ext{k}"));
+        if k > 0 {
+            b.input_pure(format!("link{k}"));
+        }
+        b.output_pure(format!("link{}", k + 1));
+        b.state_var("n", Type::uint(8), Value::Int(0));
+        let s0 = b.ctrl_state("a");
+        let s1 = b.ctrl_state("b");
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(k as u64));
+        let fwd = format!("link{}", k + 1);
+        let trig = if k > 0 && rng.gen_bool(0.8) {
+            format!("link{k}")
+        } else {
+            format!("ext{k}")
+        };
+        b.transition(s0, s1)
+            .when_present(&trig)
+            .emit(&fwd)
+            .assign("n", Expr::var("n").add(Expr::int(1)))
+            .done();
+        b.transition(s1, s0).when_present(&trig).emit(&fwd).done();
+        machines.push(b.build().expect("pipeline stage is valid"));
+    }
+    Network::new("random_pipeline", machines).expect("pipeline network is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cfsm_is_deterministic_per_seed() {
+        let spec = RandomSpec::default();
+        let a = random_cfsm("m", &spec, 42);
+        let b = random_cfsm("m", &spec, 42);
+        assert_eq!(a, b);
+        let c = random_cfsm("m", &spec, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_cfsm_synthesizes() {
+        let spec = RandomSpec::default();
+        for seed in 0..5 {
+            let m = random_cfsm("m", &spec, seed);
+            let r = crate::synthesize(&m, &crate::SynthesisOptions::default());
+            assert!(r.measured.size_bytes > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_network_is_acyclic_pipeline() {
+        let net = random_network(4, &RandomSpec::default(), 7);
+        assert_eq!(net.cfsms().len(), 4);
+        assert!(net.topo_order().is_some());
+    }
+}

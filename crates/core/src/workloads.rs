@@ -1,0 +1,374 @@
+//! The evaluation workloads, rebuilt as synthetic equivalents of the
+//! paper's industrial examples (see DESIGN.md, substitution 4).
+//!
+//! * [`dashboard`] — "a subset of the functionality of a dashboard
+//!   controller, that implements the computational chain from the wheel
+//!   and engine speed sensors to the pulse width-modulated outputs
+//!   controlling the gauges" (Section V-A), eight CFSMs;
+//! * [`shock_absorber`] — the Section V-B controller: sensor acquisition,
+//!   filtering, road estimation, mode logic, actuator drive, watchdog;
+//! * [`seat_belt`] — the classic POLIS tutorial example: five seconds
+//!   after the key turns with the belt off, sound the alarm;
+//! * [`simple`] — the paper's Fig. 1 module.
+//!
+//! All are written in the [`polis_lang`] textual format, so the front end
+//! is exercised on every path through the evaluation.
+
+use polis_cfsm::{Cfsm, Network};
+use polis_lang::{parse_module, parse_network};
+
+/// The paper's Fig. 1 `simple` module.
+pub fn simple() -> Cfsm {
+    parse_module(
+        r#"
+        // Fig. 1: await c; if a == ?c then { a := 0; emit y } else a := a+1
+        module simple {
+            input c : u8;
+            output y;
+            var a : u8 := 0;
+            state awaiting;
+            from awaiting to awaiting when c && [a == ?c] do { a := 0; emit y; }
+            from awaiting to awaiting when c && ![a == ?c] do { a := a + 1; }
+        }
+        "#,
+    )
+    .expect("fig. 1 module parses")
+}
+
+/// The dashboard controller subset (Table I/II/III workload).
+///
+/// Chain: wheel/engine pulse counters windowed by a timebase, speed and
+/// RPM conversion, odometer accumulation, fuel-level filtering, and two
+/// PWM duty generators for the gauges.
+pub fn dashboard() -> Network {
+    parse_network(
+        "dashboard",
+        r#"
+        // Wheel pulse counter: counts sensor pulses per timebase window,
+        // saturating into a distinct control state near the counter cap.
+        module frc {
+            input wheel_pulse, timebase;
+            output wticks : u8;
+            var cnt : u8 := 0;
+            state counting, saturated;
+            from counting to counting when timebase do { emit wticks(cnt); cnt := 0; }
+            from counting to saturated when wheel_pulse && [cnt >= 200] ;
+            from counting to counting when wheel_pulse do { cnt := cnt + 1; }
+            from saturated to counting when timebase do { emit wticks(cnt); cnt := 0; }
+        }
+
+        // Engine pulse counter: same structure on the engine sensor.
+        module rpc {
+            input eng_pulse, timebase;
+            output eticks : u8;
+            var cnt : u8 := 0;
+            state counting, saturated;
+            from counting to counting when timebase do { emit eticks(cnt); cnt := 0; }
+            from counting to saturated when eng_pulse && [cnt >= 200] ;
+            from counting to counting when eng_pulse do { cnt := cnt + 1; }
+            from saturated to counting when timebase do { emit eticks(cnt); cnt := 0; }
+        }
+
+        // Speedometer conversion: ticks-per-window to km/h.
+        module speedo {
+            input wticks : u8;
+            output speed : u16;
+            state s;
+            from s to s when wticks do { emit speed(?wticks * 3); }
+        }
+
+        // Tachometer conversion: ticks-per-window to RPM/100.
+        module tach {
+            input eticks : u8;
+            output rpm : u16;
+            state s;
+            from s to s when eticks do { emit rpm(?eticks * 6); }
+        }
+
+        // Odometer: accumulate wheel ticks, pulse every 100 tick-units.
+        module odometer {
+            input wticks : u8;
+            output odo_pulse;
+            var acc : u16 := 0;
+            state s;
+            from s to s when wticks && [acc + ?wticks >= 100]
+                do { acc := acc + ?wticks - 100; emit odo_pulse; }
+            from s to s when wticks do { acc := acc + ?wticks; }
+        }
+
+        // Fuel gauge: exponential smoothing of the sensor, low warning.
+        // (CFSM actions read pre-reaction state, so the emission recomputes
+        // the filtered value rather than naming the assigned variable.)
+        module fuel {
+            input fuel_sample : u8;
+            output fuel_level : u8, low_fuel;
+            var level : u8 := 128;
+            state s;
+            from s to s when fuel_sample && [(level * 3 + ?fuel_sample) / 4 < 20]
+                do { level := (level * 3 + ?fuel_sample) / 4;
+                     emit fuel_level((level * 3 + ?fuel_sample) / 4); emit low_fuel; }
+            from s to s when fuel_sample
+                do { level := (level * 3 + ?fuel_sample) / 4;
+                     emit fuel_level((level * 3 + ?fuel_sample) / 4); }
+        }
+
+        // PWM duty generator for the speed gauge.
+        module pwm_speed {
+            input speed : u16;
+            output duty_speed : u8;
+            state s;
+            from s to s when speed do { emit duty_speed(min(?speed / 2, 99)); }
+        }
+
+        // PWM duty generator for the fuel gauge.
+        module pwm_fuel {
+            input fuel_level : u8;
+            output duty_fuel : u8;
+            state s;
+            from s to s when fuel_level do { emit duty_fuel(min(?fuel_level / 3, 99)); }
+        }
+        "#,
+    )
+    .expect("dashboard network parses")
+}
+
+/// The shock absorber controller (Section V-B workload).
+///
+/// Acquisition and filtering of a body-acceleration sensor, road-roughness
+/// estimation over windows, damper mode selection by speed and roughness,
+/// the valve actuator driver, and a watchdog.
+pub fn shock_absorber() -> Network {
+    parse_network(
+        "shock_absorber",
+        r#"
+        // Acceleration acquisition: 3/4 exponential filter per sample.
+        module acq {
+            input acc_sample : i8;
+            output acc_f : i8;
+            var f : i8 := 0;
+            state s;
+            from s to s when acc_sample
+                do { f := (f * 3 + ?acc_sample) / 4; emit acc_f(f); }
+        }
+
+        // Road roughness: count filtered-acceleration excursions per window.
+        module road {
+            input acc_f : i8, window;
+            output roughness : u8;
+            var bumps : u8 := 0;
+            state s;
+            from s to s when window do { emit roughness(bumps); bumps := 0; }
+            from s to s when acc_f && [?acc_f > 12] do { bumps := bumps + 1; }
+            from s to s when acc_f && [?acc_f < -12] do { bumps := bumps + 1; }
+        }
+
+        // Speed conditioning: hold the last sample, classify into bands.
+        module speed_est {
+            input speed_sample : u8;
+            output spd_band : u8;
+            var v : u8 := 0;
+            state s;
+            from s to s when speed_sample && [?speed_sample >= 90]
+                do { v := ?speed_sample; emit spd_band(2); }
+            from s to s when speed_sample && [?speed_sample >= 40]
+                do { v := ?speed_sample; emit spd_band(1); }
+            from s to s when speed_sample
+                do { v := ?speed_sample; emit spd_band(0); }
+        }
+
+        // Damper mode logic: comfort / normal / sport.
+        module mode {
+            input roughness : u8, spd_band : u8;
+            output mode_cmd : u8;
+            var rough : u8 := 0;
+            state comfort, normal, sport;
+            from comfort to sport when spd_band && [?spd_band >= 2]
+                do { emit mode_cmd(2); }
+            from comfort to normal when roughness && [?roughness >= 4]
+                do { rough := ?roughness; emit mode_cmd(1); }
+            from comfort to comfort when roughness
+                do { rough := ?roughness; }
+            from normal to sport when spd_band && [?spd_band >= 2]
+                do { emit mode_cmd(2); }
+            from normal to comfort when roughness && [?roughness < 2]
+                do { rough := ?roughness; emit mode_cmd(0); }
+            from normal to normal when roughness
+                do { rough := ?roughness; }
+            from sport to normal when spd_band && [?spd_band < 2]
+                do { emit mode_cmd(1); }
+        }
+
+        // Valve driver: duty per mode, refreshed on the PWM timer.
+        module act {
+            input mode_cmd : u8, pwm_tick;
+            output valve : u8;
+            var duty : u8 := 30;
+            state s;
+            from s to s when mode_cmd && [?mode_cmd >= 2] do { duty := 90; }
+            from s to s when mode_cmd && [?mode_cmd == 1] do { duty := 60; }
+            from s to s when mode_cmd do { duty := 30; }
+            from s to s when pwm_tick do { emit valve(duty); }
+        }
+
+        // Watchdog: alarm if a whole supervision window passes without
+        // valve activity.
+        module watchdog {
+            input valve : u8, wd_tick;
+            output wd_alarm;
+            state fed, starving;
+            from fed to fed when valve;
+            from fed to starving when wd_tick;
+            from starving to fed when valve;
+            from starving to fed when wd_tick do { emit wd_alarm; }
+        }
+        "#,
+    )
+    .expect("shock absorber network parses")
+}
+
+/// The seat-belt alarm (classic POLIS tutorial example): after the key
+/// turns on, unless the belt is fastened within five timer ticks, sound
+/// the alarm; key-off or fastening resets.
+pub fn seat_belt() -> Network {
+    parse_network(
+        "seat_belt",
+        r#"
+        module belt_control {
+            input key_on, key_off, belt_on, tick;
+            output alarm_on, alarm_off;
+            var t : u8 := 0;
+            state off, waiting, alarm;
+            from off to waiting when key_on do { t := 0; }
+            from waiting to off when key_off;
+            from waiting to off when belt_on;
+            from waiting to alarm when tick && [t >= 4] do { emit alarm_on; }
+            from waiting to waiting when tick do { t := t + 1; }
+            from alarm to off when belt_on do { emit alarm_off; }
+            from alarm to off when key_off do { emit alarm_off; }
+        }
+        "#,
+    )
+    .expect("seat belt network parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polis_rtos::{RtosConfig, Simulator, Stimulus};
+
+    #[test]
+    fn workloads_parse_and_connect() {
+        let d = dashboard();
+        assert_eq!(d.cfsms().len(), 8);
+        assert!(d.internal_signals().contains(&"wticks".to_string()));
+        assert!(d.primary_inputs().contains(&"wheel_pulse".to_string()));
+        assert!(d.topo_order().is_some(), "dashboard chain is acyclic");
+
+        let s = shock_absorber();
+        assert_eq!(s.cfsms().len(), 6);
+        assert!(s.topo_order().is_some());
+
+        assert_eq!(seat_belt().cfsms().len(), 1);
+    }
+
+    #[test]
+    fn dashboard_chain_produces_gauge_updates() {
+        let net = dashboard();
+        let mut sim = Simulator::build(&net, RtosConfig::default());
+        let mut stim = Vec::new();
+        // 12 wheel pulses and 18 engine pulses, then the timebase window.
+        for i in 0..12u64 {
+            stim.push(Stimulus::pure(i * 2_000, "wheel_pulse"));
+        }
+        for i in 0..18u64 {
+            stim.push(Stimulus::pure(500 + i * 1_500, "eng_pulse"));
+        }
+        stim.push(Stimulus::pure(100_000, "timebase"));
+        stim.push(Stimulus::valued(120_000, "fuel_sample", 30));
+        sim.run(&stim);
+        let find = |sig: &str| {
+            sim.trace()
+                .iter()
+                .find(|t| t.signal == sig)
+                .unwrap_or_else(|| panic!("no {sig} in {:?}", sim.trace()))
+                .value
+        };
+        assert_eq!(find("wticks"), Some(12));
+        assert_eq!(find("eticks"), Some(18));
+        assert_eq!(find("speed"), Some(36));
+        assert_eq!(find("rpm"), Some(108));
+        assert_eq!(find("duty_speed"), Some(18));
+        // Fuel filter: (128*3 + 30)/4 = 103
+        assert_eq!(find("fuel_level"), Some(103));
+        assert_eq!(find("duty_fuel"), Some(34));
+    }
+
+    #[test]
+    fn seat_belt_alarm_fires_after_five_ticks() {
+        let net = seat_belt();
+        let mut sim = Simulator::build(&net, RtosConfig::default());
+        let mut stim = vec![Stimulus::pure(0, "key_on")];
+        for i in 0..5u64 {
+            stim.push(Stimulus::pure(100_000 + i * 100_000, "tick"));
+        }
+        stim.push(Stimulus::pure(900_000, "belt_on"));
+        sim.run(&stim);
+        let sigs: Vec<&str> = sim.trace().iter().map(|t| t.signal.as_str()).collect();
+        assert_eq!(sigs, vec!["alarm_on", "alarm_off"]);
+    }
+
+    #[test]
+    fn seat_belt_no_alarm_when_fastened_in_time() {
+        let net = seat_belt();
+        let mut sim = Simulator::build(&net, RtosConfig::default());
+        let stim = vec![
+            Stimulus::pure(0, "key_on"),
+            Stimulus::pure(100_000, "tick"),
+            Stimulus::pure(200_000, "belt_on"),
+            Stimulus::pure(300_000, "tick"),
+            Stimulus::pure(400_000, "tick"),
+            Stimulus::pure(500_000, "tick"),
+            Stimulus::pure(600_000, "tick"),
+            Stimulus::pure(700_000, "tick"),
+        ];
+        sim.run(&stim);
+        assert!(sim.trace().iter().all(|t| t.signal != "alarm_on"));
+    }
+
+    #[test]
+    fn shock_absorber_reacts_to_rough_road_at_speed() {
+        let net = shock_absorber();
+        let mut sim = Simulator::build(&net, RtosConfig::default());
+        // High speed first (comfort -> sport immediately), then a PWM
+        // tick produces a valve update at the sport duty.
+        let stim = vec![
+            Stimulus::valued(0, "speed_sample", 120),
+            Stimulus::pure(200_000, "pwm_tick"),
+        ];
+        sim.run(&stim);
+        let mode = sim
+            .trace()
+            .iter()
+            .find(|t| t.signal == "mode_cmd")
+            .expect("mode command");
+        assert_eq!(mode.value, Some(2));
+        let valve = sim
+            .trace()
+            .iter()
+            .find(|t| t.signal == "valve")
+            .expect("valve update");
+        assert_eq!(valve.value, Some(90));
+    }
+
+    #[test]
+    fn watchdog_alarms_without_activity() {
+        let net = shock_absorber();
+        let mut sim = Simulator::build(&net, RtosConfig::default());
+        let stim = vec![
+            Stimulus::pure(0, "wd_tick"),
+            Stimulus::pure(100_000, "wd_tick"),
+        ];
+        sim.run(&stim);
+        assert!(sim.trace().iter().any(|t| t.signal == "wd_alarm"));
+    }
+}

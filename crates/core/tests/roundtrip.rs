@@ -1,0 +1,80 @@
+//! Round-trip property: pretty-printing any workload or random machine and
+//! re-parsing it yields a behaviourally identical CFSM.
+
+use polis_cfsm::{value_var_name, Cfsm};
+use polis_core::random::{random_cfsm, RandomSpec};
+use polis_core::workloads;
+use polis_expr::{MapEnv, Value};
+use polis_lang::{emit_source, parse_module};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Drives both machines through a pseudo-random stimulus and compares
+/// firing, emissions (as multisets), and full next states.
+fn assert_behaviourally_equal(a: &Cfsm, b: &Cfsm, seed: u64) {
+    assert_eq!(a.inputs().len(), b.inputs().len());
+    assert_eq!(a.states().len(), b.states().len());
+    assert_eq!(a.num_transitions(), b.num_transitions());
+
+    let mut st_a = a.initial_state();
+    let mut st_b = b.initial_state();
+    let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    for step in 0..32 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let mut present = BTreeSet::new();
+        let mut vals = MapEnv::new();
+        for (i, sig) in a.inputs().iter().enumerate() {
+            if (x >> i) & 1 == 1 {
+                present.insert(sig.name().to_owned());
+            }
+            if let Some(ty) = sig.value_type() {
+                let v = Value::Int((x >> (8 + i * 5)) as i64 & 0xff).coerce(ty);
+                vals.set(value_var_name(sig.name()), v);
+            }
+        }
+        let ra = a.react(&present, &vals, &st_a).unwrap();
+        let rb = b.react(&present, &vals, &st_b).unwrap();
+        assert_eq!(ra.fired, rb.fired, "step {step}");
+        assert_eq!(ra.next.ctrl, rb.next.ctrl, "step {step}");
+        assert_eq!(ra.next.data, rb.next.data, "step {step}");
+        let mut ea: Vec<_> = ra.emissions.iter().map(|e| (&e.signal, e.value)).collect();
+        let mut eb: Vec<_> = rb.emissions.iter().map(|e| (&e.signal, e.value)).collect();
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb, "step {step}");
+        st_a = ra.next;
+        st_b = rb.next;
+    }
+}
+
+#[test]
+fn workload_machines_roundtrip() {
+    for net in [
+        workloads::dashboard(),
+        workloads::shock_absorber(),
+        workloads::seat_belt(),
+    ] {
+        for m in net.cfsms() {
+            let src = emit_source(m);
+            let m2 = parse_module(&src)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", m.name()));
+            assert_behaviourally_equal(m, &m2, 0xfeed);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_machines_roundtrip(seed in 0u64..10_000) {
+        let spec = RandomSpec::default();
+        let m = random_cfsm("rnd", &spec, seed);
+        let src = emit_source(&m);
+        let m2 = parse_module(&src)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        assert_behaviourally_equal(&m, &m2, seed);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property test: over random machines, the estimator tracks exact
+//! object-code measurement within a bounded relative error, on both
+//! targets — the statistical content of Table I.
+
+use polis_cfsm::{Cfsm, OrderScheme, ReactiveFn};
+use polis_estimate::{calibrate, estimate};
+use polis_expr::{Expr, Type, Value};
+use polis_sgraph::build;
+use polis_vm::{analyze, assemble, compile, BufferPolicy, Profile};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    num_states: usize,
+    transitions: Vec<(usize, usize, u8, u8, u8, bool, bool)>,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (1..=4usize)
+        .prop_flat_map(|ns| {
+            (
+                Just(ns),
+                proptest::collection::vec(
+                    (0..ns, 0..ns, 0..3u8, 0..3u8, 0..3u8, any::<bool>(), any::<bool>()),
+                    1..=8,
+                ),
+            )
+        })
+        .prop_map(|(num_states, transitions)| Spec {
+            num_states,
+            transitions,
+        })
+}
+
+fn instantiate(spec: &Spec) -> Cfsm {
+    let mut b = Cfsm::builder("rnd");
+    b.input_pure("a");
+    b.input_valued("v", Type::uint(8));
+    b.output_pure("x");
+    b.state_var("n", Type::uint(8), Value::Int(0));
+    let states: Vec<_> = (0..spec.num_states)
+        .map(|i| b.ctrl_state(format!("s{i}")))
+        .collect();
+    let t = b.test("cmp", Expr::var("n").lt(Expr::var("v_value")));
+    for &(from, to, na, nv, nt, ex, bump) in &spec.transitions {
+        let mut tb = b.transition(states[from], states[to]);
+        tb = match na {
+            1 => tb.when_present("a"),
+            2 => tb.when_absent("a"),
+            _ => tb,
+        };
+        tb = match nv {
+            1 => tb.when_present("v"),
+            2 => tb.when_absent("v"),
+            _ => tb,
+        };
+        tb = match nt {
+            1 => tb.when_test(t),
+            2 => tb.when_not_test(t),
+            _ => tb,
+        };
+        if ex {
+            tb = tb.emit("x");
+        }
+        if bump {
+            tb = tb.assign("n", Expr::var("n").add(Expr::int(1)));
+        }
+        tb.done();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn estimator_tracks_measurement(spec in arb_spec()) {
+        for profile in [Profile::Mcu8, Profile::Risc32] {
+            let params = calibrate(profile);
+            let m = instantiate(&spec);
+            let mut rf = ReactiveFn::build(&m);
+            rf.sift(OrderScheme::OutputsAfterSupport);
+            let g = build(&rf).unwrap();
+            let est = estimate(&m, &g, &params, BufferPolicy::All);
+            let prog = compile(&m, &g, BufferPolicy::All);
+            let obj = assemble(&prog, profile);
+            let bounds = analyze(&prog, &obj);
+
+            let rel = |a: f64, b: f64| (a - b).abs() / b.max(1.0);
+            prop_assert!(
+                rel(est.size_bytes as f64, f64::from(obj.size_bytes())) < 0.5,
+                "{profile:?} size: est {} measured {}",
+                est.size_bytes, obj.size_bytes()
+            );
+            prop_assert!(
+                rel(est.max_cycles as f64, bounds.max_cycles as f64) < 0.5,
+                "{profile:?} max cycles: est {} measured {}",
+                est.max_cycles, bounds.max_cycles
+            );
+        }
+    }
+}

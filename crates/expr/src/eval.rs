@@ -1,0 +1,324 @@
+//! Expression evaluation against a variable environment.
+
+use crate::{BinOp, Expr, TypeError, UnOp, Value};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A source of variable values during evaluation.
+///
+/// Implemented by the CFSM simulator (reading event values and state
+/// variables) and by [`MapEnv`] for tests and stand-alone use.
+pub trait Env {
+    /// Returns the current value of `name`, or `None` if unbound.
+    fn get(&self, name: &str) -> Option<Value>;
+}
+
+/// A simple map-backed environment.
+///
+/// # Examples
+///
+/// ```
+/// use polis_expr::{Expr, MapEnv, Value};
+/// let mut env = MapEnv::new();
+/// env.set("x", Value::from_i64(10));
+/// assert_eq!(Expr::var("x").add(Expr::int(5)).eval(&env).unwrap(), Value::from_i64(15));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapEnv {
+    vars: BTreeMap<String, Value>,
+}
+
+impl MapEnv {
+    /// Creates an empty environment.
+    pub fn new() -> MapEnv {
+        MapEnv::default()
+    }
+
+    /// Binds `name` to `value`, returning any previous binding.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> Option<Value> {
+        self.vars.insert(name.into(), value)
+    }
+
+    /// Iterates over the bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl Env for MapEnv {
+    fn get(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).copied()
+    }
+}
+
+impl<E: Env + ?Sized> Env for &E {
+    fn get(&self, name: &str) -> Option<Value> {
+        (**self).get(name)
+    }
+}
+
+impl FromIterator<(String, Value)> for MapEnv {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> MapEnv {
+        MapEnv {
+            vars: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// An error produced while evaluating an [`Expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalExprError {
+    /// A referenced variable has no binding in the environment.
+    UnboundVar {
+        /// The unbound name.
+        name: String,
+    },
+    /// An operand had the wrong kind (boolean vs. integer).
+    Type(TypeError),
+}
+
+impl fmt::Display for EvalExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalExprError::UnboundVar { name } => write!(f, "unbound variable `{name}`"),
+            EvalExprError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl Error for EvalExprError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalExprError::Type(e) => Some(e),
+            EvalExprError::UnboundVar { .. } => None,
+        }
+    }
+}
+
+impl From<TypeError> for EvalExprError {
+    fn from(e: TypeError) -> EvalExprError {
+        EvalExprError::Type(e)
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression in `env`.
+    ///
+    /// Arithmetic is performed in 64-bit precision; the *variable* width is
+    /// applied by the assignment that consumes the result, matching the C
+    /// implementation where expression temporaries are machine-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalExprError::UnboundVar`] when a variable is missing from
+    /// `env` and [`EvalExprError::Type`] on boolean/integer confusion.
+    pub fn eval(&self, env: &dyn Env) -> Result<Value, EvalExprError> {
+        match self {
+            Expr::Const(v) => Ok(*v),
+            Expr::Var(name) => env.get(name).ok_or_else(|| EvalExprError::UnboundVar {
+                name: name.clone(),
+            }),
+            Expr::Unary(op, a) => {
+                let av = a.eval(env)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!av.as_bool()?)),
+                    UnOp::Neg => Ok(Value::Int(av.as_int()?.wrapping_neg())),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let av = a.eval(env)?;
+                let bv = b.eval(env)?;
+                eval_binop(*op, av, bv)
+            }
+            Expr::Ite(c, t, e) => {
+                if c.eval(env)?.as_bool()? {
+                    t.eval(env)
+                } else {
+                    e.eval(env)
+                }
+            }
+        }
+    }
+}
+
+fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value, EvalExprError> {
+    if op.is_logical() {
+        let (x, y) = (a.as_bool()?, b.as_bool()?);
+        return Ok(Value::Bool(match op {
+            BinOp::And => x && y,
+            BinOp::Or => x || y,
+            BinOp::Xor => x ^ y,
+            _ => unreachable!(),
+        }));
+    }
+    if matches!(op, BinOp::Eq | BinOp::Ne) {
+        // Equality is defined on both kinds, but only homogeneously.
+        let r = match (a, b) {
+            (Value::Bool(x), Value::Bool(y)) => x == y,
+            _ => a.as_int()? == b.as_int()?,
+        };
+        return Ok(Value::Bool(if op == BinOp::Eq { r } else { !r }));
+    }
+    let (x, y) = (a.as_int()?, b.as_int()?);
+    Ok(match op {
+        BinOp::Add => Value::Int(x.wrapping_add(y)),
+        BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+        BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+        // Safe division per the paper: a zero divisor yields zero.
+        BinOp::Div => Value::Int(if y == 0 { 0 } else { x.wrapping_div(y) }),
+        BinOp::Rem => Value::Int(if y == 0 { 0 } else { x.wrapping_rem(y) }),
+        BinOp::Lt => Value::Bool(x < y),
+        BinOp::Le => Value::Bool(x <= y),
+        BinOp::Gt => Value::Bool(x > y),
+        BinOp::Ge => Value::Bool(x >= y),
+        BinOp::Min => Value::Int(x.min(y)),
+        BinOp::Max => Value::Int(x.max(y)),
+        BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne => unreachable!(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, Value)]) -> MapEnv {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = env(&[("x", Value::Int(7)), ("y", Value::Int(3))]);
+        assert_eq!(
+            Expr::var("x").add(Expr::var("y")).eval(&e).unwrap(),
+            Value::Int(10)
+        );
+        assert_eq!(
+            Expr::var("x").sub(Expr::var("y")).eval(&e).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            Expr::var("x").mul(Expr::var("y")).eval(&e).unwrap(),
+            Value::Int(21)
+        );
+        assert_eq!(
+            Expr::var("x").div(Expr::var("y")).eval(&e).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            Expr::var("x").rem(Expr::var("y")).eval(&e).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            Expr::var("x").min(Expr::var("y")).eval(&e).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Expr::var("x").max(Expr::var("y")).eval(&e).unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn safe_division_by_zero_yields_zero() {
+        let e = env(&[("x", Value::Int(5))]);
+        assert_eq!(
+            Expr::var("x").div(Expr::int(0)).eval(&e).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            Expr::var("x").rem(Expr::int(0)).eval(&e).unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn relational_operators() {
+        let e = env(&[("x", Value::Int(2)), ("y", Value::Int(5))]);
+        for (expr, want) in [
+            (Expr::var("x").lt(Expr::var("y")), true),
+            (Expr::var("x").le(Expr::var("y")), true),
+            (Expr::var("x").gt(Expr::var("y")), false),
+            (Expr::var("x").ge(Expr::var("y")), false),
+            (Expr::var("x").eq(Expr::var("y")), false),
+            (Expr::var("x").ne(Expr::var("y")), true),
+        ] {
+            assert_eq!(expr.eval(&e).unwrap(), Value::Bool(want), "{expr:?}");
+        }
+    }
+
+    #[test]
+    fn boolean_equality_is_homogeneous() {
+        let e = env(&[("p", Value::Bool(true)), ("q", Value::Bool(true))]);
+        assert_eq!(
+            Expr::var("p").eq(Expr::var("q")).eval(&e).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn logic_and_ite() {
+        let e = env(&[("p", Value::Bool(true)), ("q", Value::Bool(false))]);
+        assert_eq!(
+            Expr::var("p").and(Expr::var("q")).eval(&e).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::var("p").or(Expr::var("q")).eval(&e).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::var("p").xor(Expr::var("q")).eval(&e).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::ite(Expr::var("q"), Expr::int(1), Expr::int(2))
+                .eval(&e)
+                .unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            Expr::var("p").not().eval(&e).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let e = MapEnv::new();
+        let err = Expr::var("missing").eval(&e).unwrap_err();
+        assert_eq!(
+            err,
+            EvalExprError::UnboundVar {
+                name: "missing".into()
+            }
+        );
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn kind_confusion_is_an_error() {
+        let e = env(&[("p", Value::Bool(true))]);
+        assert!(matches!(
+            Expr::var("p").add(Expr::int(1)).eval(&e),
+            Err(EvalExprError::Type(_))
+        ));
+        let e2 = env(&[("x", Value::Int(1))]);
+        assert!(matches!(
+            Expr::var("x").and(Expr::bool(true)).eval(&e2),
+            Err(EvalExprError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn neg_wraps() {
+        let e = env(&[("x", Value::Int(i64::MIN))]);
+        assert_eq!(
+            Expr::var("x").neg().eval(&e).unwrap(),
+            Value::Int(i64::MIN)
+        );
+    }
+}

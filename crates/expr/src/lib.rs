@@ -1,0 +1,402 @@
+//! Expression and value model for extended finite state machines.
+//!
+//! CFSMs ([Balarin et al., "Synthesis of Software Programs for Embedded
+//! Control Applications"]) extend classical FSMs with arithmetic and
+//! relational operators over *bounded* discrete domains. This crate provides
+//! the shared value model ([`Value`], [`Type`]), the side-effect-free
+//! expression AST ([`Expr`]) used to label s-graph TEST predicates and ASSIGN
+//! actions, an evaluator, and a C pretty-printer.
+//!
+//! Design constraints inherited from the paper:
+//!
+//! * every variable ranges over a finite domain (booleans or fixed-width
+//!   integers), so expressions are total functions over finite domains;
+//! * expressions have **no side effects**, so synthesis may reorder their
+//!   evaluation freely (Section III-B1);
+//! * division is implemented *safely*: a zero divisor yields zero rather than
+//!   trapping, mirroring the paper's "division is implemented safely"
+//!   assumption.
+//!
+//! # Examples
+//!
+//! ```
+//! use polis_expr::{Expr, Value, MapEnv};
+//!
+//! // a == ?c  (the test from the paper's Fig. 1 `simple` module)
+//! let test = Expr::var("a").eq(Expr::var("c_value"));
+//! let mut env = MapEnv::new();
+//! env.set("a", Value::from_i64(3));
+//! env.set("c_value", Value::from_i64(3));
+//! assert_eq!(test.eval(&env).unwrap(), Value::truth(true));
+//! assert_eq!(test.to_c(), "(a == c_value)");
+//! ```
+
+mod eval;
+mod print;
+mod types;
+
+pub use eval::{Env, EvalExprError, MapEnv};
+pub use print::CStyle;
+pub use types::{Type, TypeError, Value};
+
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnOp {
+    /// Logical negation on booleans.
+    Not,
+    /// Arithmetic negation (two's complement within the operand width).
+    Neg,
+}
+
+/// Binary operators.
+///
+/// Relational operators produce booleans; arithmetic operators produce
+/// integers wrapped to the width of the widest operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Safe division: `x / 0 == 0` (see crate docs).
+    Div,
+    /// Safe remainder: `x % 0 == 0`.
+    Rem,
+    /// Logical conjunction (booleans only).
+    And,
+    /// Logical disjunction (booleans only).
+    Or,
+    /// Exclusive or (booleans only).
+    Xor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Minimum of two integers.
+    Min,
+    /// Maximum of two integers.
+    Max,
+}
+
+impl BinOp {
+    /// `true` for operators whose result is a boolean.
+    pub fn is_relational(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// `true` for operators defined on booleans.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+
+    /// The C spelling of the operator (infix form).
+    pub fn c_symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Xor => "^",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Min => "MIN",
+            BinOp::Max => "MAX",
+        }
+    }
+
+    /// The software-library function name used by small micro-controller
+    /// runtimes (the paper's `ADD(x1,x2)`, `EQ(x1,x2)`, ... calls).
+    pub fn lib_name(self) -> &'static str {
+        match self {
+            BinOp::Add => "ADD",
+            BinOp::Sub => "SUB",
+            BinOp::Mul => "MUL",
+            BinOp::Div => "DIV",
+            BinOp::Rem => "REM",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Xor => "XOR",
+            BinOp::Eq => "EQ",
+            BinOp::Ne => "NE",
+            BinOp::Lt => "LT",
+            BinOp::Le => "LE",
+            BinOp::Gt => "GT",
+            BinOp::Ge => "GE",
+            BinOp::Min => "MIN",
+            BinOp::Max => "MAX",
+        }
+    }
+}
+
+/// A side-effect-free expression over named variables.
+///
+/// Variables are referenced by name and resolved at evaluation time against
+/// an [`Env`]. The CFSM layer guarantees names are unique within a machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// A named variable (state variable or event value).
+    Var(String),
+    /// Unary application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// If-then-else: `Ite(c, t, e)` is `t` when `c` is true, else `e`.
+    ///
+    /// This is the `ITE(x,y,z)` primitive of Section III-B3c used when
+    /// ordering outputs before their support.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+// The builder methods form an expression DSL; the arithmetic names are
+// deliberate and must not carry `std::ops` semantics (e.g. `div` is the
+// paper's *safe* division), so operator overloading would be misleading
+// (C-OVERLOAD).
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// An integer constant.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Value::from_i64(v))
+    }
+
+    /// A boolean constant.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Const(Value::truth(v))
+    }
+
+    /// If-then-else constructor.
+    pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::Ite(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self + rhs` (wrapping in the assignment's target width).
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+    /// Safe division (`x / 0 == 0`).
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+    /// Safe remainder (`x % 0 == 0`).
+    pub fn rem(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Rem, rhs)
+    }
+    /// Logical and.
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+    /// Logical or.
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+    /// Logical exclusive or.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Xor, rhs)
+    }
+    /// Equality test.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+    /// Inequality test.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+    /// Less-than test.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+    /// Less-or-equal test.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+    /// Greater-than test.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+    /// Greater-or-equal test.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+    /// Minimum.
+    pub fn min(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Min, rhs)
+    }
+    /// Maximum.
+    pub fn max(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Max, rhs)
+    }
+    /// Logical negation.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+    /// Arithmetic negation.
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+
+    /// Collects the set of variable names this expression depends on, in
+    /// first-occurrence order.
+    ///
+    /// This is the *support* of the expression in the sense of Section II-C.
+    pub fn support(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit_vars(&mut |name| {
+            if !out.iter().any(|n| n == name) {
+                out.push(name.to_owned());
+            }
+        });
+        out
+    }
+
+    /// Calls `f` on every variable occurrence (with repetitions).
+    pub fn visit_vars(&self, f: &mut impl FnMut(&str)) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(name) => f(name),
+            Expr::Unary(_, a) => a.visit_vars(f),
+            Expr::Binary(_, a, b) => {
+                a.visit_vars(f);
+                b.visit_vars(f);
+            }
+            Expr::Ite(c, t, e) => {
+                c.visit_vars(f);
+                t.visit_vars(f);
+                e.visit_vars(f);
+            }
+        }
+    }
+
+    /// Returns a copy of the expression with every occurrence of variable
+    /// `name` replaced by `replacement`.
+    pub fn substitute(&self, name: &str, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Const(v) => Expr::Const(*v),
+            Expr::Var(n) if n == name => replacement.clone(),
+            Expr::Var(n) => Expr::Var(n.clone()),
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(a.substitute(name, replacement))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.substitute(name, replacement)),
+                Box::new(b.substitute(name, replacement)),
+            ),
+            Expr::Ite(c, t, e) => Expr::ite(
+                c.substitute(name, replacement),
+                t.substitute(name, replacement),
+                e.substitute(name, replacement),
+            ),
+        }
+    }
+
+    /// Renames every variable through `f`.
+    pub fn rename_vars(&self, f: &impl Fn(&str) -> String) -> Expr {
+        match self {
+            Expr::Const(v) => Expr::Const(*v),
+            Expr::Var(n) => Expr::Var(f(n)),
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(a.rename_vars(f))),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(*op, Box::new(a.rename_vars(f)), Box::new(b.rename_vars(f)))
+            }
+            Expr::Ite(c, t, e) => Expr::ite(c.rename_vars(f), t.rename_vars(f), e.rename_vars(f)),
+        }
+    }
+
+    /// Number of AST nodes; a rough complexity measure used by the cost
+    /// estimator for user-provided data-path expressions.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Unary(_, a) => 1 + a.node_count(),
+            Expr::Binary(_, a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::Ite(c, t, e) => 1 + c.node_count() + t.node_count() + e.node_count(),
+        }
+    }
+
+    /// Number of operator applications (operations the target must execute);
+    /// constants and variable reads are not counted.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Unary(_, a) => 1 + a.op_count(),
+            Expr::Binary(_, a, b) => 1 + a.op_count() + b.op_count(),
+            Expr::Ite(c, t, e) => 1 + c.op_count() + t.op_count() + e.op_count(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_c())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let e = Expr::var("x").add(Expr::int(1)).eq(Expr::var("y"));
+        assert_eq!(e.support(), vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(e.node_count(), 5);
+        assert_eq!(e.op_count(), 2);
+    }
+
+    #[test]
+    fn substitute_replaces_all_occurrences() {
+        let e = Expr::var("x").add(Expr::var("x"));
+        let s = e.substitute("x", &Expr::int(2));
+        assert_eq!(s, Expr::int(2).add(Expr::int(2)));
+    }
+
+    #[test]
+    fn rename_vars_applies_function() {
+        let e = Expr::var("a").lt(Expr::var("b"));
+        let r = e.rename_vars(&|n| format!("m_{n}"));
+        assert_eq!(r.support(), vec!["m_a".to_string(), "m_b".to_string()]);
+    }
+
+    #[test]
+    fn support_is_deduplicated_in_order() {
+        let e = Expr::var("b").add(Expr::var("a")).add(Expr::var("b"));
+        assert_eq!(e.support(), vec!["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn relational_and_logical_classification() {
+        assert!(BinOp::Eq.is_relational());
+        assert!(!BinOp::Add.is_relational());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Lt.is_logical());
+    }
+}

@@ -1,0 +1,384 @@
+//! Tokenizer for the specification language.
+
+use std::fmt;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    // keywords
+    Module,
+    Input,
+    Output,
+    Var,
+    State,
+    From,
+    To,
+    When,
+    Do,
+    Emit,
+    True,
+    False,
+    Min,
+    Max,
+    // punctuation / operators
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Comma,
+    Assign,  // :=
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", spelling(other)),
+        }
+    }
+}
+
+fn spelling(t: &Tok) -> &'static str {
+    match t {
+        Tok::Module => "module",
+        Tok::Input => "input",
+        Tok::Output => "output",
+        Tok::Var => "var",
+        Tok::State => "state",
+        Tok::From => "from",
+        Tok::To => "to",
+        Tok::When => "when",
+        Tok::Do => "do",
+        Tok::Emit => "emit",
+        Tok::True => "true",
+        Tok::False => "false",
+        Tok::Min => "min",
+        Tok::Max => "max",
+        Tok::LBrace => "{",
+        Tok::RBrace => "}",
+        Tok::LParen => "(",
+        Tok::RParen => ")",
+        Tok::LBracket => "[",
+        Tok::RBracket => "]",
+        Tok::Semi => ";",
+        Tok::Colon => ":",
+        Tok::Comma => ",",
+        Tok::Assign => ":=",
+        Tok::Question => "?",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Star => "*",
+        Tok::Slash => "/",
+        Tok::Percent => "%",
+        Tok::EqEq => "==",
+        Tok::NotEq => "!=",
+        Tok::Le => "<=",
+        Tok::Ge => ">=",
+        Tok::Lt => "<",
+        Tok::Gt => ">",
+        Tok::AndAnd => "&&",
+        Tok::OrOr => "||",
+        Tok::Bang => "!",
+        Tok::Ident(_) | Tok::Int(_) | Tok::Eof => unreachable!(),
+    }
+}
+
+/// Tokenizes `src`; `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, (u32, u32, String)> {
+    let mut out = Vec::new();
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! push {
+        ($kind:expr, $c:expr) => {
+            out.push(Token {
+                kind: $kind,
+                line,
+                col: $c,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start_col = col;
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            col = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    push!(Tok::Slash, start_col);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut v: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        v = v
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add(i64::from(digit)))
+                            .ok_or((line, col, "integer literal overflows".to_owned()))?;
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(v), start_col);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match s.as_str() {
+                    "module" => Tok::Module,
+                    "input" => Tok::Input,
+                    "output" => Tok::Output,
+                    "var" => Tok::Var,
+                    "state" => Tok::State,
+                    "from" => Tok::From,
+                    "to" => Tok::To,
+                    "when" => Tok::When,
+                    "do" => Tok::Do,
+                    "emit" => Tok::Emit,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "min" => Tok::Min,
+                    "max" => Tok::Max,
+                    _ => Tok::Ident(s),
+                };
+                push!(kind, start_col);
+            }
+            _ => {
+                chars.next();
+                col += 1;
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, next: char| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let kind = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '?' => Tok::Question,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '%' => Tok::Percent,
+                    ':' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Assign
+                        } else {
+                            Tok::Colon
+                        }
+                    }
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::EqEq
+                        } else {
+                            return Err((line, start_col, "expected `==`".to_owned()));
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::NotEq
+                        } else {
+                            Tok::Bang
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '&' => {
+                        if two(&mut chars, '&') {
+                            col += 1;
+                            Tok::AndAnd
+                        } else {
+                            return Err((line, start_col, "expected `&&`".to_owned()));
+                        }
+                    }
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            col += 1;
+                            Tok::OrOr
+                        } else {
+                            return Err((line, start_col, "expected `||`".to_owned()));
+                        }
+                    }
+                    other => {
+                        return Err((line, start_col, format!("unexpected character `{other}`")))
+                    }
+                };
+                push!(kind, start_col);
+            }
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("module foo input"),
+            vec![
+                Tok::Module,
+                Tok::Ident("foo".into()),
+                Tok::Input,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds(":= == != <= >= < > && || ! ? :"),
+            vec![
+                Tok::Assign,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Question,
+                Tok::Colon,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\n b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("042 7"), vec![Tok::Int(42), Tok::Int(7), Tok::Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = lex("a $").unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(err.2.contains("unexpected"));
+    }
+
+    #[test]
+    fn lone_ampersand_is_an_error() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a = b").is_err());
+    }
+}

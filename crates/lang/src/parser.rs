@@ -1,0 +1,714 @@
+//! Recursive-descent parser and CFSM elaboration.
+
+use crate::lexer::{lex, Tok, Token};
+use polis_cfsm::{Cfsm, CfsmBuilder, CfsmError, Guard, Network, NetworkError, StateId, TestId};
+use polis_expr::{Expr, Type, Value};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse or elaboration failure, with source position where available.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line (0 when the error has no position, e.g. a semantic
+    /// error reported by CFSM validation).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<CfsmError> for ParseError {
+    fn from(e: CfsmError) -> ParseError {
+        ParseError {
+            line: 0,
+            col: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<NetworkError> for ParseError {
+    fn from(e: NetworkError) -> ParseError {
+        ParseError {
+            line: 0,
+            col: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses a source containing exactly one `module`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors and on CFSM validation
+/// failures (duplicate names, unknown references, ...).
+pub fn parse_module(src: &str) -> Result<Cfsm, ParseError> {
+    let mut machines = parse_all(src)?;
+    if machines.len() != 1 {
+        return Err(ParseError {
+            line: 0,
+            col: 0,
+            message: format!("expected exactly one module, found {}", machines.len()),
+        });
+    }
+    Ok(machines.remove(0))
+}
+
+/// Parses a source containing one or more `module`s into a network.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax, CFSM, or network validation errors.
+pub fn parse_network(name: &str, src: &str) -> Result<Network, ParseError> {
+    let machines = parse_all(src)?;
+    Ok(Network::new(name, machines)?)
+}
+
+fn parse_all(src: &str) -> Result<Vec<Cfsm>, ParseError> {
+    let tokens = lex(src).map_err(|(line, col, message)| ParseError {
+        line,
+        col,
+        message,
+    })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    while p.peek() != &Tok::Eof {
+        out.push(p.module()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let neg = if *self.peek() == Tok::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            _ => Err(self.error(format!("expected an integer, found {}", self.peek()))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let name = self.ident()?;
+        if name == "bool" {
+            return Ok(Type::Bool);
+        }
+        let (signed, digits) = match name.split_at(1) {
+            ("u", d) => (false, d),
+            ("i", d) => (true, d),
+            _ => return Err(self.error(format!("unknown type `{name}`"))),
+        };
+        let bits: u8 = digits
+            .parse()
+            .map_err(|_| self.error(format!("unknown type `{name}`")))?;
+        if !(1..=32).contains(&bits) {
+            return Err(self.error(format!("type width {bits} outside 1..=32")));
+        }
+        Ok(if signed {
+            Type::int(bits)
+        } else {
+            Type::uint(bits)
+        })
+    }
+
+    fn module(&mut self) -> Result<Cfsm, ParseError> {
+        self.expect(Tok::Module)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut b = Cfsm::builder(name);
+        let mut env = ModuleEnv::default();
+        while *self.peek() != Tok::RBrace {
+            match self.peek() {
+                Tok::Input => self.input_decl(&mut b, &mut env)?,
+                Tok::Output => self.output_decl(&mut b, &mut env)?,
+                Tok::Var => self.var_decl(&mut b, &mut env)?,
+                Tok::State => self.state_decl(&mut b, &mut env)?,
+                Tok::From => self.transition(&mut b, &mut env)?,
+                other => {
+                    return Err(self.error(format!(
+                        "expected a declaration or transition, found {other}"
+                    )))
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(b.build()?)
+    }
+
+    fn input_decl(&mut self, b: &mut CfsmBuilder, env: &mut ModuleEnv) -> Result<(), ParseError> {
+        self.expect(Tok::Input)?;
+        loop {
+            let name = self.ident()?;
+            if *self.peek() == Tok::Colon {
+                self.bump();
+                let ty = self.ty()?;
+                env.valued_inputs.insert(name.clone());
+                b.input_valued(name.clone(), ty);
+            } else {
+                b.input_pure(name.clone());
+            }
+            env.inputs.push(name);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::Semi)
+    }
+
+    fn output_decl(&mut self, b: &mut CfsmBuilder, env: &mut ModuleEnv) -> Result<(), ParseError> {
+        self.expect(Tok::Output)?;
+        loop {
+            let name = self.ident()?;
+            if *self.peek() == Tok::Colon {
+                self.bump();
+                let ty = self.ty()?;
+                env.valued_outputs.insert(name.clone());
+                b.output_valued(name.clone(), ty);
+            } else {
+                b.output_pure(name.clone());
+            }
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::Semi)
+    }
+
+    fn var_decl(&mut self, b: &mut CfsmBuilder, _env: &mut ModuleEnv) -> Result<(), ParseError> {
+        self.expect(Tok::Var)?;
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let ty = self.ty()?;
+        self.expect(Tok::Assign)?;
+        let init = self.int()?;
+        self.expect(Tok::Semi)?;
+        b.state_var(name, ty, Value::Int(init));
+        Ok(())
+    }
+
+    fn state_decl(&mut self, b: &mut CfsmBuilder, env: &mut ModuleEnv) -> Result<(), ParseError> {
+        self.expect(Tok::State)?;
+        loop {
+            let name = self.ident()?;
+            let id = b.ctrl_state(name.clone());
+            env.states.insert(name, id);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::Semi)
+    }
+
+    fn state_ref(&mut self, env: &ModuleEnv) -> Result<StateId, ParseError> {
+        let (line, col) = self.here();
+        let name = self.ident()?;
+        env.states.get(&name).copied().ok_or(ParseError {
+            line,
+            col,
+            message: format!("unknown state `{name}`"),
+        })
+    }
+
+    fn transition(&mut self, b: &mut CfsmBuilder, env: &mut ModuleEnv) -> Result<(), ParseError> {
+        self.expect(Tok::From)?;
+        let from = self.state_ref(env)?;
+        self.expect(Tok::To)?;
+        let to = self.state_ref(env)?;
+        let guard = if *self.peek() == Tok::When {
+            self.bump();
+            self.guard(b, env)?
+        } else {
+            Guard::True
+        };
+        let mut actions: Vec<ParsedAction> = Vec::new();
+        if *self.peek() == Tok::Do {
+            self.bump();
+            self.expect(Tok::LBrace)?;
+            while *self.peek() != Tok::RBrace {
+                actions.push(self.action(env)?);
+            }
+            self.expect(Tok::RBrace)?;
+        }
+        // An action-less transition may end with a semicolon.
+        if *self.peek() == Tok::Semi {
+            self.bump();
+        }
+        let mut tb = b.transition(from, to).when(guard);
+        for a in actions {
+            tb = match a {
+                ParsedAction::EmitPure(sig) => tb.emit(&sig),
+                ParsedAction::EmitValued(sig, e) => tb.emit_value(&sig, e),
+                ParsedAction::Assign(var, e) => tb.assign(&var, e),
+            };
+        }
+        tb.done();
+        Ok(())
+    }
+
+    /// guard := or-guard
+    fn guard(&mut self, b: &mut CfsmBuilder, env: &mut ModuleEnv) -> Result<Guard, ParseError> {
+        let mut g = self.guard_and(b, env)?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            g = g.or(self.guard_and(b, env)?);
+        }
+        Ok(g)
+    }
+
+    fn guard_and(&mut self, b: &mut CfsmBuilder, env: &mut ModuleEnv) -> Result<Guard, ParseError> {
+        let mut g = self.guard_atom(b, env)?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            g = g.and(self.guard_atom(b, env)?);
+        }
+        Ok(g)
+    }
+
+    fn guard_atom(&mut self, b: &mut CfsmBuilder, env: &mut ModuleEnv) -> Result<Guard, ParseError> {
+        match self.peek().clone() {
+            Tok::Bang => {
+                self.bump();
+                Ok(self.guard_atom(b, env)?.not())
+            }
+            Tok::LParen => {
+                self.bump();
+                let g = self.guard(b, env)?;
+                self.expect(Tok::RParen)?;
+                Ok(g)
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Guard::True)
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Guard::False)
+            }
+            Tok::LBracket => {
+                self.bump();
+                let e = self.expr(env)?;
+                self.expect(Tok::RBracket)?;
+                let id = env.intern_test(b, e);
+                Ok(Guard::Test(id.0))
+            }
+            Tok::Ident(name) => {
+                let (line, col) = self.here();
+                self.bump();
+                match env.inputs.iter().position(|i| *i == name) {
+                    Some(i) => Ok(Guard::Present(i)),
+                    None => Err(ParseError {
+                        line,
+                        col,
+                        message: format!("unknown input `{name}` in guard"),
+                    }),
+                }
+            }
+            other => Err(self.error(format!("expected a guard atom, found {other}"))),
+        }
+    }
+
+    fn action(&mut self, env: &mut ModuleEnv) -> Result<ParsedAction, ParseError> {
+        match self.peek().clone() {
+            Tok::Emit => {
+                self.bump();
+                let sig = self.ident()?;
+                let action = if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let e = self.expr(env)?;
+                    self.expect(Tok::RParen)?;
+                    ParsedAction::EmitValued(sig, e)
+                } else {
+                    ParsedAction::EmitPure(sig)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(action)
+            }
+            Tok::Ident(var) => {
+                self.bump();
+                self.expect(Tok::Assign)?;
+                let e = self.expr(env)?;
+                self.expect(Tok::Semi)?;
+                Ok(ParsedAction::Assign(var, e))
+            }
+            other => Err(self.error(format!("expected an action, found {other}"))),
+        }
+    }
+
+    /// expr := cmp; cmp := sum (relop sum)?; sum := term ((+|-) term)*;
+    /// term := factor ((*|/|%) factor)*.
+    fn expr(&mut self, env: &ModuleEnv) -> Result<Expr, ParseError> {
+        let lhs = self.sum(env)?;
+        let op = match self.peek() {
+            Tok::EqEq => Some(Expr::eq as fn(Expr, Expr) -> Expr),
+            Tok::NotEq => Some(Expr::ne as fn(Expr, Expr) -> Expr),
+            Tok::Le => Some(Expr::le as fn(Expr, Expr) -> Expr),
+            Tok::Ge => Some(Expr::ge as fn(Expr, Expr) -> Expr),
+            Tok::Lt => Some(Expr::lt as fn(Expr, Expr) -> Expr),
+            Tok::Gt => Some(Expr::gt as fn(Expr, Expr) -> Expr),
+            _ => None,
+        };
+        if let Some(f) = op {
+            self.bump();
+            let rhs = self.sum(env)?;
+            Ok(f(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn sum(&mut self, env: &ModuleEnv) -> Result<Expr, ParseError> {
+        let mut e = self.term(env)?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    e = e.add(self.term(env)?);
+                }
+                Tok::Minus => {
+                    self.bump();
+                    e = e.sub(self.term(env)?);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn term(&mut self, env: &ModuleEnv) -> Result<Expr, ParseError> {
+        let mut e = self.factor(env)?;
+        loop {
+            match self.peek() {
+                Tok::Star => {
+                    self.bump();
+                    e = e.mul(self.factor(env)?);
+                }
+                Tok::Slash => {
+                    self.bump();
+                    e = e.div(self.factor(env)?);
+                }
+                Tok::Percent => {
+                    self.bump();
+                    e = e.rem(self.factor(env)?);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn factor(&mut self, env: &ModuleEnv) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::int(v))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(self.factor(env)?.neg())
+            }
+            Tok::Question => {
+                self.bump();
+                let (line, col) = self.here();
+                let sig = self.ident()?;
+                if !env.valued_inputs.contains(&sig) {
+                    return Err(ParseError {
+                        line,
+                        col,
+                        message: format!("`?{sig}`: `{sig}` is not a valued input"),
+                    });
+                }
+                Ok(Expr::var(polis_cfsm::value_var_name(&sig)))
+            }
+            Tok::Min | Tok::Max => {
+                let is_min = *self.peek() == Tok::Min;
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let a = self.expr(env)?;
+                self.expect(Tok::Comma)?;
+                let b = self.expr(env)?;
+                self.expect(Tok::RParen)?;
+                Ok(if is_min { a.min(b) } else { a.max(b) })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr(env)?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::var(name))
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+enum ParsedAction {
+    EmitPure(String),
+    EmitValued(String, Expr),
+    Assign(String, Expr),
+}
+
+#[derive(Default)]
+struct ModuleEnv {
+    inputs: Vec<String>,
+    valued_inputs: std::collections::BTreeSet<String>,
+    valued_outputs: std::collections::BTreeSet<String>,
+    states: HashMap<String, StateId>,
+    tests: HashMap<Expr, TestId>,
+}
+
+impl ModuleEnv {
+    fn intern_test(&mut self, b: &mut CfsmBuilder, e: Expr) -> TestId {
+        if let Some(&id) = self.tests.get(&e) {
+            return id;
+        }
+        let id = b.test(format!("t{}", self.tests.len()), e.clone());
+        self.tests.insert(e, id);
+        id
+    }
+}
+
+// `peek2` is kept for grammar extensions (e.g. `?sig` in guards).
+impl Parser {
+    #[allow(dead_code)]
+    fn lookahead_is(&self, t: Tok) -> bool {
+        *self.peek2() == t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polis_expr::MapEnv;
+    use std::collections::BTreeSet;
+
+    const SIMPLE: &str = r#"
+        // The paper's Fig. 1 module.
+        module simple {
+            input c : u8;
+            output y;
+            var a : u8 := 0;
+            state awaiting;
+            from awaiting to awaiting when c && [a == ?c] do { a := 0; emit y; }
+            from awaiting to awaiting when c && ![a == ?c] do { a := a + 1; }
+        }
+    "#;
+
+    #[test]
+    fn parses_fig1_simple() {
+        let m = parse_module(SIMPLE).unwrap();
+        assert_eq!(m.name(), "simple");
+        assert_eq!(m.inputs().len(), 1);
+        assert_eq!(m.outputs().len(), 1);
+        assert_eq!(m.state_vars().len(), 1);
+        assert_eq!(m.num_transitions(), 2);
+        assert_eq!(m.tests().len(), 1, "the bracketed test is interned once");
+    }
+
+    #[test]
+    fn parsed_module_behaves_like_fig1() {
+        let m = parse_module(SIMPLE).unwrap();
+        let mut st = m.initial_state();
+        let present: BTreeSet<String> = ["c".to_string()].into();
+        let mut vals = MapEnv::new();
+        vals.set("c_value", Value::Int(2));
+        for _ in 0..2 {
+            let r = m.react(&present, &vals, &st).unwrap();
+            assert!(r.emissions.is_empty());
+            st = r.next;
+        }
+        let r = m.react(&present, &vals, &st).unwrap();
+        assert_eq!(r.emissions.len(), 1);
+        assert_eq!(r.emissions[0].signal, "y");
+    }
+
+    #[test]
+    fn parses_multi_state_and_network() {
+        let src = r#"
+            module producer {
+                input tick;
+                output data : u8;
+                var n : u8 := 0;
+                state idle, busy;
+                from idle to busy when tick do { n := n + 1; emit data(n * 2); }
+                from busy to idle when tick;
+            }
+            module consumer {
+                input data : u8;
+                output alert;
+                state s;
+                from s to s when data && [?data > 10] do { emit alert; }
+            }
+        "#;
+        let net = parse_network("pipeline", src).unwrap();
+        assert_eq!(net.cfsms().len(), 2);
+        assert_eq!(net.internal_signals(), vec!["data".to_string()]);
+        assert_eq!(net.cfsms()[0].states().len(), 2);
+    }
+
+    #[test]
+    fn guard_operators_parse() {
+        let src = r#"
+            module g {
+                input a, b;
+                output o;
+                var n : u4 := 0;
+                state s;
+                from s to s when (a || b) && ![n >= 3] && true do { emit o; }
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.num_transitions(), 1);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = r#"
+            module e {
+                input go;
+                output o : u8;
+                var x : u8 := 0;
+                state s;
+                from s to s when go do { emit o(1 + x * 2 - min(x, 3)); }
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        // 1 + (x*2) - min(x,3)
+        let polis_cfsm::Action::Emit { value: Some(e), .. } = &m.actions()[0] else {
+            panic!("expected valued emission");
+        };
+        let mut env = MapEnv::new();
+        env.set("x", Value::Int(5));
+        assert_eq!(e.eval(&env).unwrap(), Value::Int(1 + 10 - 3));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_module("module m {\n  input $;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_module("module m { state s; from s to nowhere; }").unwrap_err();
+        assert!(err.message.contains("unknown state"));
+        let err = parse_module("module m { input a; state s; from s to s when bogus; }")
+            .unwrap_err();
+        assert!(err.message.contains("unknown input"));
+        let err =
+            parse_module("module m { input a; state s; from s to s when [?a == 1]; }")
+                .unwrap_err();
+        assert!(err.message.contains("not a valued input"));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // duplicate name: input and output both `x`
+        let err = parse_module("module m { input x; output x; state s; }").unwrap_err();
+        assert!(err.message.contains("duplicate name"));
+    }
+
+    #[test]
+    fn signed_types_and_negative_literals() {
+        let src = r#"
+            module neg {
+                input go;
+                output o : i8;
+                var d : i8 := -3;
+                state s;
+                from s to s when go do { emit o(d - 10); d := -d; }
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.state_vars()[0].init, Value::Int(-3));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let err = parse_module("module m { var v : q8 := 0; state s; }").unwrap_err();
+        assert!(err.message.contains("unknown type"));
+        let err = parse_module("module m { var v : u99 := 0; state s; }").unwrap_err();
+        assert!(err.message.contains("outside"));
+    }
+}

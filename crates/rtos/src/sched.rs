@@ -1,0 +1,252 @@
+//! Classical real-time schedulability analysis (the paper's Step 4).
+//!
+//! "Step 4 uses the software performance estimation package and classical
+//! real-time scheduling algorithms [24], [18] to schedule the CFSMs while
+//! meeting the given timing constraints" — reference [24] being Liu &
+//! Layland's rate-monotonic theory. This module provides:
+//!
+//! * the **Liu–Layland utilization bound** `U ≤ n(2^{1/n} − 1)`, the quick
+//!   sufficient test;
+//! * **exact response-time analysis** (RTA) for fixed-priority preemptive
+//!   scheduling, the necessary-and-sufficient test for the
+//!   deadline ≤ period case;
+//!
+//! fed by the per-CFSM worst-case cycle counts the estimator or the
+//! object-code analyzer produces ("our synthesis procedure ... provides
+//! execution time estimates that can be used ... to devise a scheduling
+//! policy that is guaranteed to meet the timing constraints").
+
+/// One software CFSM as a periodic task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskModel {
+    /// Diagnostic name.
+    pub name: String,
+    /// Worst-case execution cycles per reaction, including RTOS dispatch.
+    pub wcet: u64,
+    /// Minimum inter-arrival of triggering events, in cycles.
+    pub period: u64,
+    /// Relative deadline in cycles (≤ period for the analysis to be
+    /// exact); defaults to the period.
+    pub deadline: u64,
+}
+
+impl TaskModel {
+    /// A task with deadline equal to its period.
+    pub fn new(name: impl Into<String>, wcet: u64, period: u64) -> TaskModel {
+        TaskModel {
+            name: name.into(),
+            wcet,
+            period,
+            deadline: period,
+        }
+    }
+}
+
+/// The verdicts of the schedulability analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedAnalysis {
+    /// Total processor utilization `Σ C_i / T_i`.
+    pub utilization: f64,
+    /// The Liu–Layland bound `n(2^{1/n} − 1)` for this task count.
+    pub ll_bound: f64,
+    /// `true` when the quick utilization test already guarantees
+    /// schedulability.
+    pub passes_utilization_test: bool,
+    /// Worst-case response time per task under rate-monotonic priorities
+    /// (`None` when the recurrence diverges past the deadline).
+    pub response_times: Vec<Option<u64>>,
+    /// `true` when every task's response time meets its deadline (exact
+    /// for deadlines ≤ periods).
+    pub schedulable: bool,
+}
+
+/// Runs rate-monotonic analysis: priorities by ascending period, exact
+/// response-time recurrence `R = C_i + Σ_{j∈hp} ⌈R / T_j⌉ C_j`.
+///
+/// Assumes fully preemptive dispatching; the POLIS-generated RTOS executes
+/// reactions atomically, so use [`rate_monotonic_nonpreemptive`] to account
+/// for the blocking a long lower-priority reaction imposes.
+///
+/// Response times are reported in the *input* task order.
+///
+/// # Panics
+///
+/// Panics if a task has a zero period (no event rate) — constrain the
+/// environment model first.
+pub fn rate_monotonic(tasks: &[TaskModel]) -> SchedAnalysis {
+    analyse(tasks, false)
+}
+
+/// Rate-monotonic analysis with the non-preemptive blocking term
+/// `B_i = max_{j ∈ lp(i)} C_j` added to each recurrence — the correct
+/// model for the generated RTOS, whose reactions run to completion.
+///
+/// # Panics
+///
+/// Panics if a task has a zero period.
+pub fn rate_monotonic_nonpreemptive(tasks: &[TaskModel]) -> SchedAnalysis {
+    analyse(tasks, true)
+}
+
+fn analyse(tasks: &[TaskModel], blocking: bool) -> SchedAnalysis {
+    assert!(
+        tasks.iter().all(|t| t.period > 0),
+        "every task needs a positive period"
+    );
+    let n = tasks.len();
+    let utilization: f64 = tasks
+        .iter()
+        .map(|t| t.wcet as f64 / t.period as f64)
+        .sum();
+    let ll_bound = if n == 0 {
+        1.0
+    } else {
+        n as f64 * ((2f64).powf(1.0 / n as f64) - 1.0)
+    };
+    let passes_utilization_test = n > 0 && utilization <= ll_bound;
+
+    // Rate-monotonic priority order: shortest period first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (tasks[i].period, i));
+
+    let mut response_times = vec![None; n];
+    let mut schedulable = n > 0;
+    for (rank, &i) in order.iter().enumerate() {
+        let t = &tasks[i];
+        let higher = &order[..rank];
+        let block: u64 = if blocking {
+            order[rank + 1..]
+                .iter()
+                .map(|&j| tasks[j].wcet)
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let mut r = t.wcet + block;
+        let rt = loop {
+            let interference: u64 = higher
+                .iter()
+                .map(|&j| {
+                    let hj = &tasks[j];
+                    r.div_ceil(hj.period) * hj.wcet
+                })
+                .sum();
+            let next = t.wcet + block + interference;
+            if next == r {
+                break Some(r);
+            }
+            if next > t.deadline {
+                break None; // diverged past the deadline
+            }
+            r = next;
+        };
+        match rt {
+            Some(r) if r <= t.deadline => response_times[i] = Some(r),
+            other => {
+                response_times[i] = other;
+                schedulable = false;
+            }
+        }
+    }
+    SchedAnalysis {
+        utilization,
+        ll_bound,
+        passes_utilization_test,
+        response_times,
+        schedulable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str, c: u64, p: u64) -> TaskModel {
+        TaskModel::new(name, c, p)
+    }
+
+    #[test]
+    fn liu_layland_bound_values() {
+        let a = rate_monotonic(&[t("a", 1, 10)]);
+        assert!((a.ll_bound - 1.0).abs() < 1e-9, "n=1 bound is 1.0");
+        let b = rate_monotonic(&[t("a", 1, 10), t("b", 1, 20)]);
+        assert!((b.ll_bound - 0.8284).abs() < 1e-3, "n=2 bound ≈ 0.828");
+    }
+
+    #[test]
+    fn classic_schedulable_set() {
+        // C=(1,1,1), T=(4,6,10): U ≈ 0.517, trivially schedulable.
+        let a = rate_monotonic(&[t("a", 1, 4), t("b", 1, 6), t("c", 1, 10)]);
+        assert!(a.passes_utilization_test);
+        assert!(a.schedulable);
+        assert_eq!(a.response_times, vec![Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn rta_succeeds_beyond_the_utilization_bound() {
+        // The classic example where U > LL bound but RTA proves
+        // schedulability: C=(1,2,3), T=(3,6,12) — U = 1/3+1/3+1/4 ≈ 0.917.
+        let a = rate_monotonic(&[t("a", 1, 3), t("b", 2, 6), t("c", 3, 12)]);
+        assert!(!a.passes_utilization_test);
+        assert!(a.schedulable, "{a:?}");
+        // Response times: a=1; b=1+2=3... R_b: 2 + ceil(R/3)*1: R=3 -> 2+1=3 ✓
+        assert_eq!(a.response_times[0], Some(1));
+        assert_eq!(a.response_times[1], Some(3));
+        // c: 3 + ceil(R/3)*1 + ceil(R/6)*2 -> converges ≤ 12.
+        assert!(a.response_times[2].unwrap() <= 12);
+    }
+
+    #[test]
+    fn overutilized_set_is_unschedulable() {
+        let a = rate_monotonic(&[t("a", 3, 4), t("b", 3, 5)]);
+        assert!(a.utilization > 1.0);
+        assert!(!a.schedulable);
+        assert_eq!(a.response_times[1], None, "low-priority task diverges");
+        // The highest-priority task still has a response time.
+        assert_eq!(a.response_times[0], Some(3));
+    }
+
+    #[test]
+    fn deadline_shorter_than_period_is_respected() {
+        let mut task = t("a", 5, 100);
+        task.deadline = 4;
+        let a = rate_monotonic(&[task]);
+        assert!(!a.schedulable, "WCET 5 cannot meet deadline 4");
+    }
+
+    #[test]
+    fn empty_set() {
+        let a = rate_monotonic(&[]);
+        assert!(!a.schedulable);
+        assert_eq!(a.utilization, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive period")]
+    fn zero_period_panics() {
+        let _ = rate_monotonic(&[t("a", 1, 0)]);
+    }
+
+    #[test]
+    fn blocking_term_tightens_the_verdict() {
+        // A long low-priority reaction blocks the urgent task past its
+        // deadline under non-preemptive dispatching.
+        let mut urgent = t("u", 2, 10);
+        urgent.deadline = 5;
+        let long = t("l", 6, 1_000);
+        let pre = rate_monotonic(&[urgent.clone(), long.clone()]);
+        assert!(pre.schedulable, "preemptive analysis passes");
+        let non = rate_monotonic_nonpreemptive(&[urgent, long]);
+        assert!(!non.schedulable, "2 + blocking 6 > deadline 5");
+    }
+
+    #[test]
+    fn utilization_one_with_harmonic_periods_is_schedulable() {
+        // Harmonic task sets achieve full utilization under RM.
+        let a = rate_monotonic(&[t("a", 1, 2), t("b", 2, 4)]);
+        assert!((a.utilization - 1.0).abs() < 1e-9);
+        assert!(!a.passes_utilization_test, "beyond the LL bound");
+        assert!(a.schedulable, "but exact RTA proves it");
+    }
+}

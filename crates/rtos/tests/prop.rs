@@ -1,0 +1,121 @@
+//! Property tests over random pipelines and stimuli: RTOS invariants that
+//! must hold for every schedule.
+
+use polis_core::random::{random_network, RandomSpec};
+use polis_rtos::{RtosConfig, SchedulingPolicy, Simulator, Stimulus};
+use proptest::prelude::*;
+
+fn configs() -> Vec<RtosConfig> {
+    vec![
+        RtosConfig::default(),
+        RtosConfig {
+            policy: SchedulingPolicy::StaticPriority {
+                priorities: vec![3, 1, 2, 0],
+            },
+            ..RtosConfig::default()
+        },
+        RtosConfig {
+            policy: SchedulingPolicy::StaticPriority {
+                priorities: vec![3, 1, 2, 0],
+            },
+            preemptive: true,
+            ..RtosConfig::default()
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rtos_invariants_hold_for_every_schedule(
+        seed in 0u64..500,
+        events in proptest::collection::vec((0u64..500_000, 0usize..4), 1..20),
+    ) {
+        let net = random_network(4, &RandomSpec::default(), seed);
+        let stim: Vec<Stimulus> = events
+            .iter()
+            .map(|&(t, k)| Stimulus::pure(t, format!("ext{k}")))
+            .collect();
+        for config in configs() {
+            let mut sim = Simulator::build(&net, config);
+            sim.run(&stim);
+            let stats = sim.stats();
+
+            // 1. Fired reactions never exceed executed reactions.
+            for (f, r) in stats.fired.iter().zip(&stats.reactions) {
+                prop_assert!(f <= r);
+            }
+            // 2. Trace times are monotone non-decreasing.
+            let mut last = 0;
+            for t in sim.trace() {
+                prop_assert!(t.time >= last, "trace went backwards");
+                last = t.time;
+            }
+            // 3. Every trace entry is attributed to a network machine.
+            for t in sim.trace() {
+                prop_assert!(net.machine_index(&t.by).is_some());
+            }
+            // 4. Conservation: each relay's firings equal its emissions.
+            for (mi, m) in net.cfsms().iter().enumerate() {
+                let emitted = sim
+                    .trace()
+                    .iter()
+                    .filter(|t| t.by == m.name())
+                    .count() as u64;
+                prop_assert_eq!(
+                    emitted,
+                    stats.fired[mi],
+                    "machine {} fired {} but emitted {}",
+                    m.name(), stats.fired[mi], emitted
+                );
+            }
+            // 5. Busy cycles never exceed wall-clock time.
+            prop_assert!(stats.busy_cycles <= stats.total_cycles.max(stats.busy_cycles));
+            // 6. The simulation terminated with no task still enabled:
+            //    re-running with no stimuli adds nothing.
+            let before = sim.trace().len();
+            sim.run(&[]);
+            prop_assert_eq!(sim.trace().len(), before);
+        }
+    }
+
+    #[test]
+    fn chaining_never_changes_observable_emissions(
+        seed in 0u64..200,
+        events in proptest::collection::vec((0u64..400_000, 0usize..3), 1..12),
+    ) {
+        let net = random_network(3, &RandomSpec::default(), seed);
+        let stim: Vec<Stimulus> = events
+            .iter()
+            .map(|&(t, k)| Stimulus::pure(t, format!("ext{k}")))
+            .collect();
+
+        let mut plain = Simulator::build(&net, RtosConfig::default());
+        plain.run(&stim);
+
+        let chains = net
+            .cfsms()
+            .iter()
+            .zip(net.cfsms().iter().skip(1))
+            .map(|(a, b)| (a.name().to_owned(), b.name().to_owned()))
+            .collect();
+        let mut chained = Simulator::build(&net, RtosConfig {
+            chains,
+            ..RtosConfig::default()
+        });
+        chained.run(&stim);
+
+        let sigs = |sim: &Simulator| -> Vec<(String, String)> {
+            let mut v: Vec<(String, String)> = sim
+                .trace()
+                .iter()
+                .map(|t| (t.signal.clone(), t.by.clone()))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(sigs(&plain), sigs(&chained));
+        prop_assert!(chained.stats().busy_cycles <= plain.stats().busy_cycles);
+    }
+}

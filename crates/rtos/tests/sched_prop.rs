@@ -1,0 +1,60 @@
+//! Properties of the schedulability analyses over random task sets.
+
+use polis_rtos::{rate_monotonic, rate_monotonic_nonpreemptive, TaskModel};
+use proptest::prelude::*;
+
+fn arb_tasks() -> impl Strategy<Value = Vec<TaskModel>> {
+    proptest::collection::vec((1u64..50, 10u64..500), 1..8).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (c, p))| TaskModel::new(format!("t{i}"), c.min(p), p))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Blocking can only hurt: a set schedulable without preemption is
+    /// also schedulable with it.
+    #[test]
+    fn nonpreemptive_schedulable_implies_preemptive(tasks in arb_tasks()) {
+        let non = rate_monotonic_nonpreemptive(&tasks);
+        let pre = rate_monotonic(&tasks);
+        if non.schedulable {
+            prop_assert!(pre.schedulable);
+        }
+        // Blocking never shortens a response time.
+        for (a, b) in non.response_times.iter().zip(&pre.response_times) {
+            if let (Some(a), Some(b)) = (a, b) {
+                prop_assert!(a >= b);
+            }
+        }
+    }
+
+    /// Over-utilized sets are never declared schedulable.
+    #[test]
+    fn utilization_above_one_is_unschedulable(tasks in arb_tasks()) {
+        let a = rate_monotonic(&tasks);
+        if a.utilization > 1.0 {
+            prop_assert!(!a.schedulable);
+        }
+        // And the LL quick test is sound: passing it implies RTA passes.
+        if a.passes_utilization_test {
+            prop_assert!(a.schedulable, "{:?}", a);
+        }
+    }
+
+    /// The highest-priority task's response time is exactly its WCET
+    /// (plus blocking in the non-preemptive model).
+    #[test]
+    fn top_priority_response_is_wcet(tasks in arb_tasks()) {
+        let a = rate_monotonic(&tasks);
+        let top = (0..tasks.len())
+            .min_by_key(|&i| (tasks[i].period, i))
+            .unwrap();
+        if let Some(r) = a.response_times[top] {
+            prop_assert_eq!(r, tasks[top].wcet);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! The paper's `build` procedure (Section III-B2, Theorem 1): structural
+//! translation of the characteristic-function BDD into an s-graph.
+//!
+//! With every output ordered after its support (the default scheme), the
+//! s-graph *is* the BDD: input-variable nodes become TEST vertices and
+//! output-variable nodes become ASSIGN vertices. On any path, an output
+//! node has its false branch at the 0-terminal exactly when the output is
+//! *forced*; an output absent from the path is a don't care, resolved by
+//! the cheapest option — no assignment (so the implementation keeps old
+//! state / emits nothing). For relational specifications where both
+//! branches of an output node are satisfiable, we follow the 1-branch — a
+//! legal resolution by the paper's flexibility condition.
+
+use crate::graph::{AssignLabel, NodeId, SGraph, SNode, TestLabel};
+use polis_bdd::NodeRef;
+use polis_cfsm::{ReactiveFn, RfVarKind, Side};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Failure translating a characteristic function into an s-graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// `χ` is the constant false — no behaviour at all.
+    UnsatisfiableChi,
+    /// Some input combination admits no output assignment; `χ` is not
+    /// complete over its inputs (violates the CFSM completion invariant).
+    IncompleteSpec {
+        /// Diagnostic name of the input variable at the failure point.
+        at: String,
+    },
+    /// A BDD variable in `χ` has no reactive-function metadata (indicates a
+    /// corrupted [`ReactiveFn`]).
+    UnmappedVar {
+        /// The stray variable's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnsatisfiableChi => {
+                write!(f, "characteristic function is unsatisfiable")
+            }
+            BuildError::IncompleteSpec { at } => write!(
+                f,
+                "characteristic function is incomplete at input `{at}`"
+            ),
+            BuildError::UnmappedVar { name } => {
+                write!(f, "BDD variable `{name}` has no reactive-function metadata")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builds an s-graph computing the reactive function of `rf`.
+///
+/// The graph mirrors the current BDD structure, so call
+/// [`ReactiveFn::sift`] first to pick the ordering scheme (Table II
+/// compares the outcomes).
+///
+/// # Errors
+///
+/// See [`BuildError`]. A [`ReactiveFn`] built by
+/// [`ReactiveFn::build`] never triggers `UnsatisfiableChi` or
+/// `IncompleteSpec`; they guard hand-constructed characteristic functions.
+pub fn build(rf: &ReactiveFn) -> Result<SGraph, BuildError> {
+    let mut g = SGraph::new(rf.name().to_owned());
+    if rf.chi().is_false() {
+        return Err(BuildError::UnsatisfiableChi);
+    }
+    let mut memo: HashMap<NodeRef, NodeId> = HashMap::new();
+    let first = conv(rf, &mut g, rf.chi(), &mut memo)?;
+    g.set_begin(first);
+    debug_assert_eq!(g.validate(), Ok(()));
+    Ok(g)
+}
+
+fn conv(
+    rf: &ReactiveFn,
+    g: &mut SGraph,
+    n: NodeRef,
+    memo: &mut HashMap<NodeRef, NodeId>,
+) -> Result<NodeId, BuildError> {
+    if n.is_true() {
+        return Ok(NodeId::END);
+    }
+    debug_assert!(!n.is_false(), "conv called on the 0-terminal");
+    if let Some(&id) = memo.get(&n) {
+        return Ok(id);
+    }
+    let bdd = rf.bdd();
+    let v = bdd.node_var(n).expect("non-terminal");
+    let loc = rf.locate(v).ok_or_else(|| BuildError::UnmappedVar {
+        name: bdd.var_name(v).to_owned(),
+    })?;
+
+    let id = match loc.side {
+        Side::Input => {
+            let rv = &rf.inputs()[loc.var];
+            let label = match rv.kind {
+                RfVarKind::Present { input } => TestLabel::Present { input },
+                RfVarKind::Test { test } => TestLabel::TestExpr { test },
+                RfVarKind::Ctrl => TestLabel::CtrlBit {
+                    bit: loc.bit,
+                    width: rv.bits.len(),
+                },
+                _ => unreachable!("input side has input kinds"),
+            };
+            let (lo, hi) = (bdd.lo(n), bdd.hi(n));
+            if lo.is_false() || hi.is_false() {
+                // Some completion of this input has no legal output.
+                return Err(BuildError::IncompleteSpec {
+                    at: bdd.var_name(v).to_owned(),
+                });
+            }
+            let lo_id = conv(rf, g, lo, memo)?;
+            let hi_id = conv(rf, g, hi, memo)?;
+            g.add_node(SNode::Test {
+                label,
+                children: vec![lo_id, hi_id],
+            })
+        }
+        Side::Output => {
+            let rv = &rf.outputs()[loc.var];
+            match rv.kind {
+                RfVarKind::Consume | RfVarKind::Action { .. } => {
+                    let (value, rest) = forced_branch(bdd, n);
+                    let next = conv(rf, g, rest, memo)?;
+                    if value {
+                        let label = match rv.kind {
+                            RfVarKind::Consume => AssignLabel::Consume,
+                            RfVarKind::Action { action } => AssignLabel::Action { action },
+                            _ => unreachable!(),
+                        };
+                        g.add_node(SNode::Assign { label, next })
+                    } else {
+                        // Output forced to 0: no code, fall through.
+                        next
+                    }
+                }
+                RfVarKind::NextCtrl => {
+                    // Collect the (contiguous) run of next-state bits.
+                    let width = rv.bits.len();
+                    let mut bits = Vec::new();
+                    let mut cur = n;
+                    // Consume the contiguous run of next-state bit nodes.
+                    while let Some(cl) = bdd
+                        .node_var(cur)
+                        .and_then(|cv| rf.locate(cv))
+                        .filter(|cl| {
+                            cl.side == Side::Output
+                                && rf.outputs()[cl.var].kind == RfVarKind::NextCtrl
+                        })
+                    {
+                        let (value, rest) = forced_branch(bdd, cur);
+                        bits.push((cl.bit, value));
+                        cur = rest;
+                    }
+                    let next = conv(rf, g, cur, memo)?;
+                    g.add_node(SNode::Assign {
+                        label: AssignLabel::NextCtrlBits { bits, width },
+                        next,
+                    })
+                }
+                _ => unreachable!("output side has output kinds"),
+            }
+        }
+    };
+    memo.insert(n, id);
+    Ok(id)
+}
+
+/// At an output node: the forced value and the continuation. When both
+/// branches are satisfiable (a relational don't care), follows the
+/// 1-branch — a legal choice per Section III-B2.
+fn forced_branch(bdd: &polis_bdd::Bdd, n: NodeRef) -> (bool, NodeRef) {
+    let (lo, hi) = (bdd.lo(n), bdd.hi(n));
+    if lo.is_false() {
+        (true, hi)
+    } else if hi.is_false() {
+        (false, lo)
+    } else {
+        (true, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polis_cfsm::{Cfsm, OrderScheme};
+    use polis_expr::{Expr, Type, Value};
+
+    fn simple() -> Cfsm {
+        let mut b = Cfsm::builder("simple");
+        b.input_valued("c", Type::uint(8));
+        b.output_pure("y");
+        b.state_var("a", Type::uint(8), Value::Int(0));
+        let s0 = b.ctrl_state("awaiting");
+        let eq = b.test("a_eq_c", Expr::var("a").eq(Expr::var("c_value")));
+        b.transition(s0, s0)
+            .when_present("c")
+            .when_test(eq)
+            .assign("a", Expr::int(0))
+            .emit("y")
+            .done();
+        b.transition(s0, s0)
+            .when_present("c")
+            .when_not_test(eq)
+            .assign("a", Expr::var("a").add(Expr::int(1)))
+            .done();
+        b.build().unwrap()
+    }
+
+    fn toggler() -> Cfsm {
+        let mut b = Cfsm::builder("toggler");
+        b.input_pure("tick");
+        b.output_pure("on");
+        b.output_pure("off");
+        let s_off = b.ctrl_state("off");
+        let s_on = b.ctrl_state("on");
+        b.transition(s_off, s_on).when_present("tick").emit("on").done();
+        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn simple_matches_figure_1_shape() {
+        // Fig. 1: test present_c, then test a == ?c, then the assigns.
+        let rf = ReactiveFn::build(&simple());
+        let g = build(&rf).unwrap();
+        assert!(g.validate().is_ok());
+        // Two TESTs (present_c, a == ?c); ASSIGNs: consume twice shared? —
+        // consume on both fired paths (shared node), plus a:=0, emit y,
+        // a:=a+1.
+        assert_eq!(g.num_tests(), 2);
+        assert_eq!(g.depth(), 2);
+        // Path absent(c): no assigns at all.
+        // Paths present: consume + their actions.
+        assert!(g.num_assigns() >= 3);
+    }
+
+    #[test]
+    fn toggler_tests_ctrl_bit() {
+        let rf = ReactiveFn::build(&toggler());
+        let g = build(&rf).unwrap();
+        let has_ctrl_test = g.reachable().iter().any(|&id| {
+            matches!(
+                g.node(id),
+                SNode::Test {
+                    label: TestLabel::CtrlBit { .. },
+                    ..
+                }
+            )
+        });
+        assert!(has_ctrl_test);
+        let has_next_ctrl = g.reachable().iter().any(|&id| {
+            matches!(
+                g.node(id),
+                SNode::Assign {
+                    label: AssignLabel::NextCtrlBits { .. },
+                    ..
+                }
+            )
+        });
+        assert!(has_next_ctrl);
+    }
+
+    #[test]
+    fn build_after_each_ordering_scheme() {
+        for scheme in [
+            OrderScheme::Natural,
+            OrderScheme::OutputsAfterAllInputs,
+            OrderScheme::OutputsAfterSupport,
+        ] {
+            let mut rf = ReactiveFn::build(&toggler());
+            rf.sift(scheme);
+            let g = build(&rf).expect("builds under every scheme");
+            assert!(g.validate().is_ok(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn inputs_tested_at_most_once_per_path() {
+        // BDD property: each variable appears once per path; check depth
+        // bound = number of input variables.
+        let rf = ReactiveFn::build(&simple());
+        let g = build(&rf).unwrap();
+        assert!(g.depth() <= rf.inputs().iter().map(|v| v.bits.len()).sum());
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based verification of Theorem 1: for random CFSMs, the s-graph
+//! built from the characteristic-function BDD computes exactly the CFSM's
+//! transition function — under every variable-ordering scheme, for the
+//! ITE-chain form, and after TEST-node collapsing.
+
+use polis_cfsm::{Cfsm, OrderScheme, ReactiveFn};
+use polis_expr::{Expr, MapEnv, Value};
+use polis_sgraph::{build, collapse, execute, ite_chain, CollapseOptions, SGraph};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A compact recipe for a random 2-input/2-output machine.
+#[derive(Debug, Clone)]
+struct MachineSpec {
+    num_states: usize,                   // 1..=3
+    transitions: Vec<TransitionSpec>,    // 1..=6
+}
+
+#[derive(Debug, Clone)]
+struct TransitionSpec {
+    from: usize,
+    to: usize,
+    /// Guard selector: which presence/test atoms are required
+    /// (0 = don't care, 1 = required true, 2 = required false).
+    need_a: u8,
+    need_b: u8,
+    need_t: u8,
+    emit_x: bool,
+    emit_y: bool,
+    bump: bool, // n := n + 1
+    reset: bool, // n := 0 (overrides bump)
+}
+
+fn arb_transition(num_states: usize) -> impl Strategy<Value = TransitionSpec> {
+    (
+        0..num_states,
+        0..num_states,
+        0..3u8,
+        0..3u8,
+        0..3u8,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(from, to, need_a, need_b, need_t, emit_x, emit_y, bump, reset)| TransitionSpec {
+                from,
+                to,
+                need_a,
+                need_b,
+                need_t,
+                emit_x,
+                emit_y,
+                bump,
+                reset,
+            },
+        )
+}
+
+fn arb_machine() -> impl Strategy<Value = MachineSpec> {
+    (1..=3usize)
+        .prop_flat_map(|num_states| {
+            (
+                Just(num_states),
+                proptest::collection::vec(arb_transition(num_states), 1..=6),
+            )
+        })
+        .prop_map(|(num_states, transitions)| MachineSpec {
+            num_states,
+            transitions,
+        })
+}
+
+fn instantiate(spec: &MachineSpec) -> Cfsm {
+    let mut b = Cfsm::builder("random");
+    b.input_pure("a");
+    b.input_valued("b", polis_expr::Type::uint(4));
+    b.output_pure("x");
+    b.output_pure("y");
+    b.state_var("n", polis_expr::Type::uint(4), Value::Int(0));
+    let states: Vec<_> = (0..spec.num_states)
+        .map(|i| b.ctrl_state(format!("s{i}")))
+        .collect();
+    let t = b.test("n_lt_b", Expr::var("n").lt(Expr::var("b_value")));
+    for ts in &spec.transitions {
+        let mut tb = b.transition(states[ts.from], states[ts.to]);
+        tb = match ts.need_a {
+            1 => tb.when_present("a"),
+            2 => tb.when_absent("a"),
+            _ => tb,
+        };
+        tb = match ts.need_b {
+            1 => tb.when_present("b"),
+            2 => tb.when_absent("b"),
+            _ => tb,
+        };
+        tb = match ts.need_t {
+            1 => tb.when_test(t),
+            2 => tb.when_not_test(t),
+            _ => tb,
+        };
+        if ts.emit_x {
+            tb = tb.emit("x");
+        }
+        if ts.emit_y {
+            tb = tb.emit("y");
+        }
+        if ts.reset {
+            tb = tb.assign("n", Expr::int(0));
+        } else if ts.bump {
+            tb = tb.assign("n", Expr::var("n").add(Expr::int(1)));
+        }
+        tb.done();
+    }
+    b.build().expect("random machine is structurally valid")
+}
+
+/// One randomized stimulus step: which inputs arrive and b's value.
+fn arb_stimulus() -> impl Strategy<Value = Vec<(bool, bool, i64)>> {
+    proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..12)
+}
+
+fn run_equivalence(m: &Cfsm, g: &SGraph, stimulus: &[(bool, bool, i64)]) {
+    let mut st_ref = m.initial_state();
+    let mut st_sg = m.initial_state();
+    for &(pa, pb, bval) in stimulus {
+        let mut present = BTreeSet::new();
+        if pa {
+            present.insert("a".to_string());
+        }
+        if pb {
+            present.insert("b".to_string());
+        }
+        let mut vals = MapEnv::new();
+        vals.set("b_value", Value::Int(bval));
+
+        let want = m.react(&present, &vals, &st_ref).expect("reference");
+        let got = execute(m, g, &present, &vals, &st_sg).expect("s-graph");
+
+        assert_eq!(got.fired, want.fired, "fired mismatch");
+        assert_eq!(got.next, want.next, "next-state mismatch");
+        let mut ea: Vec<_> = want.emissions.iter().map(|e| &e.signal).collect();
+        let mut eb: Vec<_> = got.emissions.iter().map(|e| &e.signal).collect();
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb, "emission mismatch");
+
+        st_ref = want.next;
+        st_sg = got.next;
+
+        assert_eq!(st_ref, st_sg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_natural_order(spec in arb_machine(), stim in arb_stimulus()) {
+        let m = instantiate(&spec);
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).expect("build");
+        run_equivalence(&m, &g, &stim);
+    }
+
+    #[test]
+    fn theorem1_outputs_after_all_inputs(spec in arb_machine(), stim in arb_stimulus()) {
+        let m = instantiate(&spec);
+        let mut rf = ReactiveFn::build(&m);
+        rf.sift(OrderScheme::OutputsAfterAllInputs);
+        let g = build(&rf).expect("build");
+        run_equivalence(&m, &g, &stim);
+    }
+
+    #[test]
+    fn theorem1_outputs_after_support(spec in arb_machine(), stim in arb_stimulus()) {
+        let m = instantiate(&spec);
+        let mut rf = ReactiveFn::build(&m);
+        rf.sift_with_passes(OrderScheme::OutputsAfterSupport, usize::MAX);
+        let g = build(&rf).expect("build");
+        run_equivalence(&m, &g, &stim);
+    }
+
+    #[test]
+    fn theorem1_ite_chain(spec in arb_machine(), stim in arb_stimulus()) {
+        let m = instantiate(&spec);
+        let mut rf = ReactiveFn::build(&m);
+        let g = ite_chain(&mut rf);
+        run_equivalence(&m, &g, &stim);
+    }
+
+    #[test]
+    fn theorem1_after_collapse(spec in arb_machine(), stim in arb_stimulus()) {
+        let m = instantiate(&spec);
+        let mut rf = ReactiveFn::build(&m);
+        rf.sift(OrderScheme::OutputsAfterSupport);
+        let g = build(&rf).expect("build");
+        let c = collapse(&g, CollapseOptions::default());
+        run_equivalence(&m, &c, &stim);
+    }
+
+    #[test]
+    fn reduce_is_semantics_preserving(spec in arb_machine(), stim in arb_stimulus()) {
+        let m = instantiate(&spec);
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).expect("build");
+        let r = g.reduce();
+        prop_assert!(r.len() <= g.len());
+        run_equivalence(&m, &r, &stim);
+    }
+}

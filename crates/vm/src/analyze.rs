@@ -1,0 +1,176 @@
+//! Static path analysis of assembled object code.
+//!
+//! The "exact measurement ... performed by analyzing the compiled object
+//! code" of Table I: minimum and maximum cycles over all control paths of
+//! the routine. Compiled s-graphs are acyclic, so both bounds are exact
+//! single-pass dynamic programs over the instruction CFG (the paper uses
+//! Dijkstra for the minimum and PERT longest path for the maximum on the
+//! s-graph side; on a DAG both reduce to the same DP).
+
+use crate::inst::{Inst, VmProgram};
+use crate::profile::ObjectCode;
+
+/// Exact cycle bounds over all paths of a routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathBounds {
+    /// Fewest cycles any reaction can take.
+    pub min_cycles: u64,
+    /// Most cycles any reaction can take.
+    pub max_cycles: u64,
+}
+
+/// Computes exact min/max cycle bounds of the routine.
+///
+/// # Panics
+///
+/// Panics if the instruction CFG contains a cycle — impossible for
+/// programs produced by [`crate::compile`] from (acyclic) s-graphs.
+pub fn analyze(prog: &VmProgram, obj: &ObjectCode) -> PathBounds {
+    let n = prog.insts().len();
+    let mut memo: Vec<Option<(u64, u64)>> = vec![None; n];
+    let mut visiting = vec![false; n];
+    let (min, max) = bounds(prog, obj, 0, &mut memo, &mut visiting);
+    PathBounds {
+        min_cycles: min,
+        max_cycles: max,
+    }
+}
+
+fn bounds(
+    prog: &VmProgram,
+    obj: &ObjectCode,
+    pc: usize,
+    memo: &mut Vec<Option<(u64, u64)>>,
+    visiting: &mut Vec<bool>,
+) -> (u64, u64) {
+    if let Some(b) = memo[pc] {
+        return b;
+    }
+    assert!(!visiting[pc], "object code CFG has a cycle at {pc}");
+    visiting[pc] = true;
+    let cost = obj.cost(pc);
+    let base = u64::from(cost.cycles);
+    let b = match &prog.insts()[pc] {
+        Inst::Return => (base, base),
+        Inst::Jump(t) => {
+            let (mn, mx) = bounds(prog, obj, *t, memo, visiting);
+            (base + mn, base + mx)
+        }
+        Inst::Branch { target, .. } => {
+            let taken = u64::from(cost.taken_extra);
+            let (tmn, tmx) = bounds(prog, obj, *target, memo, visiting);
+            let (fmn, fmx) = bounds(prog, obj, pc + 1, memo, visiting);
+            (
+                base + (taken + tmn).min(fmn),
+                base + (taken + tmx).max(fmx),
+            )
+        }
+        Inst::JumpTable(targets) => {
+            let mut mn = u64::MAX;
+            let mut mx = 0;
+            for &t in targets {
+                let (a, b) = bounds(prog, obj, t, memo, visiting);
+                mn = mn.min(a);
+                mx = mx.max(b);
+            }
+            (base + mn, base + mx)
+        }
+        _ => {
+            let (mn, mx) = bounds(prog, obj, pc + 1, memo, visiting);
+            (base + mn, base + mx)
+        }
+    };
+    visiting[pc] = false;
+    memo[pc] = Some(b);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{SlotInfo, SlotKind};
+    use crate::profile::{assemble, Profile};
+    use crate::{run_reaction, CollectingHost, VmMemory};
+    use polis_expr::Type;
+
+    fn program(insts: Vec<Inst>) -> VmProgram {
+        VmProgram {
+            name: "t".into(),
+            insts,
+            slots: vec![SlotInfo {
+                name: "x".into(),
+                ty: Type::uint(8),
+                kind: SlotKind::State,
+                init: 0,
+            }],
+            num_inputs: 1,
+            num_outputs: 1,
+            out_types: vec![None],
+        }
+    }
+
+    #[test]
+    fn straight_line_bounds_are_equal() {
+        let p = program(vec![Inst::PushImm(1), Inst::StoreVar(0), Inst::Return]);
+        let obj = assemble(&p, Profile::Mcu8);
+        let b = analyze(&p, &obj);
+        assert_eq!(b.min_cycles, b.max_cycles);
+        // And equal to the dynamic cost.
+        let mut mem = VmMemory::new(&p);
+        let mut host = CollectingHost::default();
+        let stats = run_reaction(&p, &obj, &mut mem, &mut host).unwrap();
+        assert_eq!(stats.cycles, b.max_cycles);
+    }
+
+    #[test]
+    fn branch_spreads_bounds_and_contains_dynamics() {
+        let p = program(vec![
+            Inst::Detect(0),
+            Inst::Branch {
+                when: true,
+                target: 3,
+            },
+            Inst::Return,
+            Inst::EmitPure(0),
+            Inst::Consume,
+            Inst::Return,
+        ]);
+        let obj = assemble(&p, Profile::Mcu8);
+        let b = analyze(&p, &obj);
+        assert!(b.min_cycles < b.max_cycles);
+        for present in [false, true] {
+            let mut mem = VmMemory::new(&p);
+            let mut host = CollectingHost::new(vec![present]);
+            let stats = run_reaction(&p, &obj, &mut mem, &mut host).unwrap();
+            assert!(
+                (b.min_cycles..=b.max_cycles).contains(&stats.cycles),
+                "dynamic {} outside [{}, {}]",
+                stats.cycles,
+                b.min_cycles,
+                b.max_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn jump_table_bounds_cover_all_arms() {
+        let p = program(vec![
+            Inst::PushVar(0),
+            Inst::JumpTable(vec![2, 4]),
+            Inst::Return,             // arm 0: cheap
+            Inst::EmitPure(0),        // unreachable filler
+            Inst::EmitPure(0),        // arm 1: expensive
+            Inst::Consume,
+            Inst::Return,
+        ]);
+        let obj = assemble(&p, Profile::Mcu8);
+        let b = analyze(&p, &obj);
+        for v in [0i64, 1] {
+            let mut mem = VmMemory::new(&p);
+            mem.set(0, v);
+            let mut host = CollectingHost::default();
+            let stats = run_reaction(&p, &obj, &mut mem, &mut host).unwrap();
+            assert!((b.min_cycles..=b.max_cycles).contains(&stats.cycles));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The virtual instruction set and program container.
+
+use polis_expr::{BinOp, Type, UnOp};
+use std::fmt;
+
+/// One virtual instruction. Branch targets are instruction indices.
+///
+/// The machine is a small stack machine: expression operands are pushed,
+/// operators pop and push, assignments pop into memory slots. Booleans live
+/// on the stack as 0/1. RTOS interactions (event detection, emission,
+/// consumption) are explicit instructions, mirroring the paper's cost
+/// parameters ("a TEST node detecting the presence of a signal ... yields
+/// an RTOS function call").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Push a constant.
+    PushImm(i64),
+    /// Push the value of a memory slot.
+    PushVar(u16),
+    /// Pop into a memory slot (coerced to the slot's type).
+    StoreVar(u16),
+    /// Pop one operand, push the result.
+    Unary(UnOp),
+    /// Pop two operands (rhs on top), push the result.
+    Binary(BinOp),
+    /// Pop a boolean; branch to `target` when it equals `when`.
+    Branch {
+        /// Branch polarity.
+        when: bool,
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Unconditional branch.
+    Jump(usize),
+    /// Pop an index; jump to `targets[index]` (the multi-way jump used for
+    /// CtrlSwitch TESTs and by the two-level-jump baseline).
+    JumpTable(Vec<usize>),
+    /// Push bit `bit` (MSB first of `width`) of the slot as 0/1.
+    PushCtrlBit {
+        /// Slot holding the control value.
+        slot: u16,
+        /// Bit position (0 = MSB).
+        bit: u8,
+        /// Encoding width.
+        width: u8,
+    },
+    /// Overwrite the listed bits of the slot.
+    SetCtrlBits {
+        /// Slot holding the control value.
+        slot: u16,
+        /// `(bit, value)` pairs, MSB-first positions.
+        bits: Vec<(u8, bool)>,
+        /// Encoding width.
+        width: u8,
+    },
+    /// Pop a boolean into bit `bit` of the slot.
+    StoreCtrlBit {
+        /// Slot holding the control value.
+        slot: u16,
+        /// Bit position (0 = MSB).
+        bit: u8,
+        /// Encoding width.
+        width: u8,
+    },
+    /// Push the presence flag of input event `0` as 0/1 (an RTOS call).
+    Detect(u16),
+    /// Emit a pure output event (an RTOS call).
+    EmitPure(u16),
+    /// Pop a value and emit it on a valued output (an RTOS call).
+    EmitValued(u16),
+    /// Tell the RTOS the reaction fired: consume the input snapshot.
+    Consume,
+    /// End of reaction.
+    Return,
+}
+
+/// What a memory slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// A CFSM state variable (persistent).
+    State,
+    /// Reaction-local copy of a state variable (the entry buffering of
+    /// Section V-B); `of` is the buffered slot.
+    LocalCopy {
+        /// The buffered slot.
+        of: u16,
+    },
+    /// The buffered value of a valued input event; written by the RTOS.
+    InputValue {
+        /// CFSM input index.
+        input: u16,
+    },
+    /// The persistent control state.
+    Ctrl,
+    /// Reaction-local copy of the control state.
+    CtrlLocal,
+}
+
+/// Metadata for one memory slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Diagnostic name.
+    pub name: String,
+    /// Value type (assignments coerce to it).
+    pub ty: Type,
+    /// Role.
+    pub kind: SlotKind,
+    /// Reset value.
+    pub init: i64,
+}
+
+/// A compiled reaction routine for one CFSM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmProgram {
+    pub(crate) name: String,
+    pub(crate) insts: Vec<Inst>,
+    pub(crate) slots: Vec<SlotInfo>,
+    pub(crate) num_inputs: usize,
+    pub(crate) num_outputs: usize,
+    /// Value types of valued outputs (`None` for pure signals), indexed by
+    /// CFSM output index; emissions are coerced to these widths.
+    pub(crate) out_types: Vec<Option<Type>>,
+}
+
+impl VmProgram {
+    /// Assembles a routine from raw parts — for hand-written probes,
+    /// calibration suites, and tests. Compiled routines come from
+    /// [`crate::compile`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch target or slot reference is out of range.
+    pub fn from_raw(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        slots: Vec<SlotInfo>,
+        num_inputs: usize,
+        num_outputs: usize,
+        out_types: Vec<Option<Type>>,
+    ) -> VmProgram {
+        let n = insts.len();
+        for (i, inst) in insts.iter().enumerate() {
+            let check = |t: usize| assert!(t < n, "instruction {i}: target {t} out of range");
+            match inst {
+                Inst::Branch { target, .. } | Inst::Jump(target) => check(*target),
+                Inst::JumpTable(ts) => ts.iter().for_each(|&t| check(t)),
+                Inst::PushVar(s) | Inst::StoreVar(s) => {
+                    assert!((*s as usize) < slots.len(), "instruction {i}: bad slot {s}")
+                }
+                _ => {}
+            }
+        }
+        VmProgram {
+            name: name.into(),
+            insts,
+            slots,
+            num_inputs,
+            num_outputs,
+            out_types,
+        }
+    }
+
+    /// The CFSM this routine implements.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction stream.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Memory slot metadata.
+    pub fn slots(&self) -> &[SlotInfo] {
+        &self.slots
+    }
+
+    /// Number of CFSM input events.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of CFSM output events.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The value type of output `output` (`None` for pure outputs).
+    pub fn output_type(&self, output: usize) -> Option<Type> {
+        self.out_types.get(output).copied().flatten()
+    }
+
+    /// The slot holding the buffered value of valued input `input`.
+    pub fn input_value_slot(&self, input: usize) -> Option<u16> {
+        self.slots.iter().position(|s| {
+            s.kind
+                == SlotKind::InputValue {
+                    input: input as u16,
+                }
+        }).map(|i| i as u16)
+    }
+
+    /// The slot holding the persistent control state, if any.
+    pub fn ctrl_slot(&self) -> Option<u16> {
+        self.slots
+            .iter()
+            .position(|s| s.kind == SlotKind::Ctrl)
+            .map(|i| i as u16)
+    }
+
+    /// The slot for state variable `name`, if any.
+    pub fn state_slot(&self, name: &str) -> Option<u16> {
+        self.slots
+            .iter()
+            .position(|s| s.kind == SlotKind::State && s.name == name)
+            .map(|i| i as u16)
+    }
+
+    /// Bytes of RAM the routine needs: persistent state plus reaction-local
+    /// copies (the paper's ROM/RAM accounting for the shock absorber).
+    pub fn ram_bytes(&self) -> u32 {
+        self.slots.iter().map(|s| s.ty.byte_size()).sum()
+    }
+
+    /// Number of reaction-local copy slots (the buffering overhead).
+    pub fn num_local_copies(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.kind, SlotKind::LocalCopy { .. } | SlotKind::CtrlLocal))
+            .count()
+    }
+}
+
+impl fmt::Display for VmProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; routine {}", self.name)?;
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{i:4}: {inst:?}")?;
+        }
+        Ok(())
+    }
+}

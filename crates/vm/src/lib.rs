@@ -1,0 +1,62 @@
+//! A virtual micro-controller target: instruction set, compiler from
+//! s-graphs, assembler with per-target cost models, cycle-accurate
+//! executor, and static path analysis of object code.
+//!
+//! **Substitution note** (see DESIGN.md): the paper measures its generated
+//! code on a Motorola 68HC11 through the INTROL C compiler, and on a MIPS
+//! R3000 through `pixie`. Neither is available here, so this crate provides
+//! an *independent measurement artifact* with the properties that make the
+//! paper's estimation-vs-measurement comparison meaningful: real
+//! instruction encodings with context-dependent sizes (short/long branches,
+//! small/large immediates, direct/extended addressing), per-instruction
+//! cycle counts, and a separate executable semantics the synthesized code
+//! can be validated against.
+//!
+//! Two cost profiles mirror the paper's two targets:
+//!
+//! * [`Profile::Mcu8`] — an 8-bit accumulator-style controller in the
+//!   68HC11 mould: variable-length instructions, expensive multiply/divide,
+//!   two-byte short branches with a ±127 range;
+//! * [`Profile::Risc32`] — a 32-bit RISC in the R3000 mould: fixed 4-byte
+//!   instructions, cheap ALU ops, branch-taken penalty.
+//!
+//! # Examples
+//!
+//! ```
+//! use polis_cfsm::{Cfsm, ReactiveFn};
+//! use polis_expr::{Expr, Type, Value};
+//! use polis_sgraph::build;
+//! use polis_vm::{assemble, compile, BufferPolicy, Profile};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = Cfsm::builder("counter");
+//! b.input_pure("tick");
+//! b.output_pure("fire");
+//! b.state_var("n", Type::uint(8), Value::Int(0));
+//! let s = b.ctrl_state("s");
+//! let full = b.test("full", Expr::var("n").ge(Expr::int(3)));
+//! b.transition(s, s).when_present("tick").when_test(full)
+//!     .assign("n", Expr::int(0)).emit("fire").done();
+//! b.transition(s, s).when_present("tick")
+//!     .assign("n", Expr::var("n").add(Expr::int(1))).done();
+//! let m = b.build()?;
+//! let rf = ReactiveFn::build(&m);
+//! let sg = build(&rf)?;
+//! let prog = compile(&m, &sg, BufferPolicy::All);
+//! let obj = assemble(&prog, Profile::Mcu8);
+//! assert!(obj.size_bytes() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod analyze;
+mod compile;
+mod exec;
+mod inst;
+mod profile;
+
+pub use analyze::{analyze, PathBounds};
+pub use compile::{compile, BufferPolicy};
+pub use exec::{run_reaction, CollectingHost, ReactionHost, RunError, RunStats, VmMemory};
+pub use inst::{Inst, SlotInfo, SlotKind, VmProgram};
+pub use profile::{assemble, InstCost, ObjectCode, Profile};

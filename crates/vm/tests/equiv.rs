@@ -1,0 +1,253 @@
+//! Cross-layer properties: compiled object code behaves exactly like the
+//! s-graph it was compiled from (and hence like the CFSM, by Theorem 1),
+//! and its dynamic cycle counts always fall inside the static min/max
+//! bounds of the object-code analyzer.
+
+use polis_cfsm::{Cfsm, OrderScheme, ReactiveFn};
+use polis_expr::{Env, Expr, MapEnv, Type, Value};
+use polis_sgraph::{build, ite_chain, SGraph};
+use polis_vm::{
+    analyze, assemble, compile, run_reaction, BufferPolicy, CollectingHost, Profile, VmMemory,
+    VmProgram,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+struct TransitionSpec {
+    from: usize,
+    to: usize,
+    need_a: u8,
+    need_b: u8,
+    need_t: u8,
+    emit_x: bool,
+    emit_v: bool,
+    bump: bool,
+    reset: bool,
+}
+
+#[derive(Debug, Clone)]
+struct MachineSpec {
+    num_states: usize,
+    transitions: Vec<TransitionSpec>,
+}
+
+fn arb_machine() -> impl Strategy<Value = MachineSpec> {
+    (1..=3usize)
+        .prop_flat_map(|num_states| {
+            (
+                Just(num_states),
+                proptest::collection::vec(
+                    (
+                        0..num_states,
+                        0..num_states,
+                        0..3u8,
+                        0..3u8,
+                        0..3u8,
+                        any::<bool>(),
+                        any::<bool>(),
+                        any::<bool>(),
+                        any::<bool>(),
+                    )
+                        .prop_map(
+                            |(from, to, need_a, need_b, need_t, emit_x, emit_v, bump, reset)| {
+                                TransitionSpec {
+                                    from,
+                                    to,
+                                    need_a,
+                                    need_b,
+                                    need_t,
+                                    emit_x,
+                                    emit_v,
+                                    bump,
+                                    reset,
+                                }
+                            },
+                        ),
+                    1..=5,
+                ),
+            )
+        })
+        .prop_map(|(num_states, transitions)| MachineSpec {
+            num_states,
+            transitions,
+        })
+}
+
+fn instantiate(spec: &MachineSpec) -> Cfsm {
+    let mut b = Cfsm::builder("random");
+    b.input_pure("a");
+    b.input_valued("b", Type::uint(4));
+    b.output_pure("x");
+    b.output_valued("v", Type::uint(4));
+    b.state_var("n", Type::uint(4), Value::Int(0));
+    let states: Vec<_> = (0..spec.num_states)
+        .map(|i| b.ctrl_state(format!("s{i}")))
+        .collect();
+    let t = b.test("n_lt_b", Expr::var("n").lt(Expr::var("b_value")));
+    for ts in &spec.transitions {
+        let mut tb = b.transition(states[ts.from], states[ts.to]);
+        tb = match ts.need_a {
+            1 => tb.when_present("a"),
+            2 => tb.when_absent("a"),
+            _ => tb,
+        };
+        tb = match ts.need_b {
+            1 => tb.when_present("b"),
+            2 => tb.when_absent("b"),
+            _ => tb,
+        };
+        tb = match ts.need_t {
+            1 => tb.when_test(t),
+            2 => tb.when_not_test(t),
+            _ => tb,
+        };
+        if ts.emit_x {
+            tb = tb.emit("x");
+        }
+        if ts.emit_v {
+            tb = tb.emit_value("v", Expr::var("n").add(Expr::var("b_value")));
+        }
+        if ts.reset {
+            tb = tb.assign("n", Expr::int(0));
+        } else if ts.bump {
+            tb = tb.assign("n", Expr::var("n").add(Expr::int(1)));
+        }
+        tb.done();
+    }
+    b.build().unwrap()
+}
+
+/// Drive the compiled routine and the reference CFSM in lock-step.
+fn check_machine(
+    m: &Cfsm,
+    g: &SGraph,
+    policy: BufferPolicy,
+    profile: Profile,
+    stimulus: &[(bool, bool, i64)],
+) {
+    let prog: VmProgram = compile(m, g, policy);
+    let obj = assemble(&prog, profile);
+    let bounds = analyze(&prog, &obj);
+    let mut mem = VmMemory::new(&prog);
+    let mut st = m.initial_state();
+
+    for &(pa, pb, bval) in stimulus {
+        // Reference reaction.
+        let mut present = BTreeSet::new();
+        if pa {
+            present.insert("a".to_string());
+        }
+        if pb {
+            present.insert("b".to_string());
+        }
+        let mut vals = MapEnv::new();
+        vals.set("b_value", Value::Int(bval));
+        let want = m.react(&present, &vals, &st).unwrap();
+
+        // Compiled reaction. The RTOS would write the buffered value of b
+        // whenever the event is (re-)emitted; model a one-place buffer by
+        // always updating it.
+        if let Some(slot) = prog.input_value_slot(1) {
+            mem.set(slot, bval);
+        }
+        let mut host = CollectingHost::new(vec![pa, pb]);
+        let stats = run_reaction(&prog, &obj, &mut mem, &mut host).unwrap();
+
+        // Equivalence: fired, emissions (as sets), state variables, ctrl.
+        assert_eq!(host.consumed, want.fired, "fired mismatch");
+        let mut got: Vec<(usize, Option<i64>)> = host.emissions.clone();
+        let mut exp: Vec<(usize, Option<i64>)> = want
+            .emissions
+            .iter()
+            .map(|e| {
+                let oi = m.output_index(&e.signal).unwrap();
+                (oi, e.value.map(|v| v.as_int().unwrap()))
+            })
+            .collect();
+        got.sort();
+        exp.sort();
+        assert_eq!(got, exp, "emission mismatch");
+        let n_slot = prog.state_slot("n").unwrap();
+        assert_eq!(
+            mem.get(n_slot),
+            want.next.data.get("n").unwrap().as_int().unwrap(),
+            "state variable mismatch"
+        );
+        if let Some(cs) = prog.ctrl_slot() {
+            assert_eq!(mem.get(cs) as usize, want.next.ctrl, "ctrl mismatch");
+        }
+
+        // Static bounds contain the dynamic cost.
+        assert!(
+            (bounds.min_cycles..=bounds.max_cycles).contains(&stats.cycles),
+            "cycles {} outside [{}, {}]",
+            stats.cycles,
+            bounds.min_cycles,
+            bounds.max_cycles
+        );
+
+        st = want.next;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_code_matches_reference_mcu8(
+        spec in arb_machine(),
+        stim in proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..10),
+    ) {
+        let m = instantiate(&spec);
+        let mut rf = ReactiveFn::build(&m);
+        rf.sift(OrderScheme::OutputsAfterSupport);
+        let g = build(&rf).unwrap();
+        check_machine(&m, &g, BufferPolicy::All, Profile::Mcu8, &stim);
+    }
+
+    #[test]
+    fn compiled_code_matches_reference_risc32(
+        spec in arb_machine(),
+        stim in proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..10),
+    ) {
+        let m = instantiate(&spec);
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        check_machine(&m, &g, BufferPolicy::All, Profile::Risc32, &stim);
+    }
+
+    #[test]
+    fn minimal_buffering_is_still_correct(
+        spec in arb_machine(),
+        stim in proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..10),
+    ) {
+        let m = instantiate(&spec);
+        let mut rf = ReactiveFn::build(&m);
+        rf.sift(OrderScheme::OutputsAfterSupport);
+        let g = build(&rf).unwrap();
+        check_machine(&m, &g, BufferPolicy::Minimal, Profile::Mcu8, &stim);
+    }
+
+    #[test]
+    fn ite_chain_compiles_and_matches(
+        spec in arb_machine(),
+        stim in proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..8),
+    ) {
+        let m = instantiate(&spec);
+        let mut rf = ReactiveFn::build(&m);
+        let g = ite_chain(&mut rf);
+        check_machine(&m, &g, BufferPolicy::All, Profile::Mcu8, &stim);
+    }
+
+    #[test]
+    fn minimal_buffering_never_uses_more_ram(spec in arb_machine()) {
+        let m = instantiate(&spec);
+        let rf = ReactiveFn::build(&m);
+        let g = build(&rf).unwrap();
+        let all = compile(&m, &g, BufferPolicy::All);
+        let min = compile(&m, &g, BufferPolicy::Minimal);
+        prop_assert!(min.ram_bytes() <= all.ram_bytes());
+        prop_assert!(min.num_local_copies() <= all.num_local_copies());
+    }
+}

@@ -1,0 +1,99 @@
+//! Edge-case tests for hand-assembled routines: constructor validation,
+//! runaway-loop protection, and cross-profile invariants.
+
+use polis_expr::Type;
+use polis_vm::{
+    analyze, assemble, run_reaction, CollectingHost, Inst, Profile, RunError, SlotInfo,
+    SlotKind, VmMemory, VmProgram,
+};
+
+fn slot() -> Vec<SlotInfo> {
+    vec![SlotInfo {
+        name: "x".into(),
+        ty: Type::uint(8),
+        kind: SlotKind::State,
+        init: 0,
+    }]
+}
+
+#[test]
+#[should_panic(expected = "target")]
+fn from_raw_rejects_out_of_range_targets() {
+    let _ = VmProgram::from_raw("bad", vec![Inst::Jump(99)], slot(), 0, 0, vec![]);
+}
+
+#[test]
+#[should_panic(expected = "bad slot")]
+fn from_raw_rejects_bad_slots() {
+    let _ = VmProgram::from_raw(
+        "bad",
+        vec![Inst::PushVar(7), Inst::Return],
+        slot(),
+        0,
+        0,
+        vec![],
+    );
+}
+
+#[test]
+fn step_limit_stops_accidental_loops() {
+    // A hand-written loop (compiled s-graphs are acyclic, but the executor
+    // must defend against hand-assembled ones).
+    let p = VmProgram::from_raw("looping", vec![Inst::Jump(0)], slot(), 0, 0, vec![]);
+    let obj = assemble(&p, Profile::Mcu8);
+    let mut mem = VmMemory::new(&p);
+    let mut host = CollectingHost::default();
+    assert_eq!(
+        run_reaction(&p, &obj, &mut mem, &mut host).unwrap_err(),
+        RunError::StepLimit
+    );
+}
+
+#[test]
+fn stack_underflow_is_reported_with_location() {
+    let p = VmProgram::from_raw(
+        "underflow",
+        vec![Inst::StoreVar(0), Inst::Return],
+        slot(),
+        0,
+        0,
+        vec![],
+    );
+    let obj = assemble(&p, Profile::Mcu8);
+    let mut mem = VmMemory::new(&p);
+    let mut host = CollectingHost::default();
+    let err = run_reaction(&p, &obj, &mut mem, &mut host).unwrap_err();
+    assert_eq!(err, RunError::StackUnderflow { at: 0 });
+    assert!(err.to_string().contains("instruction 0"));
+}
+
+#[test]
+fn profiles_agree_on_semantics_but_not_on_costs() {
+    let insts = vec![
+        Inst::PushImm(40),
+        Inst::PushImm(2),
+        Inst::Binary(polis_expr::BinOp::Mul),
+        Inst::StoreVar(0),
+        Inst::Return,
+    ];
+    let p = VmProgram::from_raw("mul", insts, slot(), 0, 0, vec![]);
+    let mut results = Vec::new();
+    for profile in [Profile::Mcu8, Profile::Risc32] {
+        let obj = assemble(&p, profile);
+        let mut mem = VmMemory::new(&p);
+        let mut host = CollectingHost::default();
+        let stats = run_reaction(&p, &obj, &mut mem, &mut host).unwrap();
+        assert_eq!(mem.get(0), 80, "{profile:?}");
+        results.push((obj.size_bytes(), stats.cycles));
+    }
+    assert_ne!(results[0], results[1], "profiles must differ in cost");
+}
+
+#[test]
+fn analysis_of_empty_routine_is_the_return_cost() {
+    let p = VmProgram::from_raw("ret", vec![Inst::Return], slot(), 0, 0, vec![]);
+    let obj = assemble(&p, Profile::Mcu8);
+    let b = analyze(&p, &obj);
+    assert_eq!(b.min_cycles, b.max_cycles);
+    assert!(b.min_cycles > 0);
+}

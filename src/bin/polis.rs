@@ -1,0 +1,324 @@
+//! The `polis` command-line tool: synthesize, estimate, simulate, and
+//! inspect CFSM networks written in the textual specification language.
+//!
+//! ```text
+//! polis synth <spec> [-o DIR] [--style dg|chain|2lvl] [--target mcu8|risc32]
+//!                    [--scheme natural|after-inputs|after-support]
+//!                    [--buffering all|minimal] [--collapse]
+//! polis estimate <spec> [same options]
+//! polis sim <spec> --stim <file> [--policy rr|prio] [--target ...]
+//! polis dot <spec> [--module NAME]
+//! ```
+//!
+//! Stimulus files contain one event per line: `<time> <signal> [value]`;
+//! `#` starts a comment.
+
+use polis::cfsm::Network;
+use polis::codegen::emit_network_header;
+use polis::core::{synthesize_network, ImplStyle, SynthesisOptions};
+use polis::lang::parse_network;
+use polis::rtos::{RtosConfig, SchedulingPolicy, Simulator, Stimulus};
+use polis::sgraph::BufferPolicy;
+use polis::vm::Profile;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("polis: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if it
+                    .peek()
+                    .map(|n| !n.starts_with("--") && !n.starts_with('-'))
+                    .unwrap_or(false)
+                    && takes_value(name)
+                {
+                    it.next()
+                } else {
+                    None
+                };
+                flags.push((name.to_owned(), value));
+            } else if let Some(name) = a.strip_prefix('-') {
+                let value = if takes_value(name) { it.next() } else { None };
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn takes_value(name: &str) -> bool {
+    matches!(
+        name,
+        "o" | "style" | "target" | "scheme" | "buffering" | "stim" | "policy" | "module"
+    )
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw);
+    let Some(command) = args.positional.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "synth" => synth(&args),
+        "estimate" => estimate_cmd(&args),
+        "sim" => sim(&args),
+        "dot" => dot(&args),
+        "fmt" => fmt(&args),
+        "help" | "--help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     polis synth <spec> [-o DIR] [--style dg|chain|2lvl] [--target mcu8|risc32]\n    \
+       [--scheme natural|after-inputs|after-support] [--buffering all|minimal] [--collapse]\n  \
+     polis estimate <spec> [same options]\n  \
+     polis sim <spec> --stim <file> [--policy rr|prio] [--target mcu8|risc32]\n  \
+     polis dot <spec> [--module NAME]\n  \
+     polis fmt <spec>"
+        .to_owned()
+}
+
+fn load_network(args: &Args) -> Result<Network, String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| format!("missing <spec> argument\n{}", usage()))?;
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = PathBuf::from(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "network".to_owned());
+    parse_network(&name, &src).map_err(|e| format!("{path}:{e}"))
+}
+
+fn options(args: &Args) -> Result<SynthesisOptions, String> {
+    let mut opts = SynthesisOptions::default();
+    if let Some(style) = args.flag("style") {
+        opts.style = match style {
+            "dg" | "decision-graph" => ImplStyle::DecisionGraph,
+            "chain" | "ite" => ImplStyle::IteChain,
+            "2lvl" | "two-level" => ImplStyle::TwoLevel,
+            other => return Err(format!("unknown style `{other}`")),
+        };
+    }
+    if let Some(scheme) = args.flag("scheme") {
+        opts.scheme = match scheme {
+            "natural" => polis::cfsm::OrderScheme::Natural,
+            "after-inputs" => polis::cfsm::OrderScheme::OutputsAfterAllInputs,
+            "after-support" => polis::cfsm::OrderScheme::OutputsAfterSupport,
+            other => return Err(format!("unknown scheme `{other}`")),
+        };
+    }
+    if let Some(target) = args.flag("target") {
+        opts.profile = parse_target(target)?;
+    }
+    if let Some(buffering) = args.flag("buffering") {
+        opts.buffering = match buffering {
+            "all" => BufferPolicy::All,
+            "minimal" | "wbr" => BufferPolicy::Minimal,
+            other => return Err(format!("unknown buffering policy `{other}`")),
+        };
+    }
+    opts.collapse = args.has("collapse");
+    Ok(opts)
+}
+
+fn parse_target(target: &str) -> Result<Profile, String> {
+    match target {
+        "mcu8" => Ok(Profile::Mcu8),
+        "risc32" => Ok(Profile::Risc32),
+        other => Err(format!("unknown target `{other}`")),
+    }
+}
+
+fn cost_table(net: &Network, result: &polis::core::NetworkSynthesis) {
+    println!(
+        "{:<14} {:>8} {:>8} {:>10} {:>10}",
+        "module", "ROM[B]", "RAM[B]", "min[cyc]", "max[cyc]"
+    );
+    for (m, r) in net.cfsms().iter().zip(&result.machines) {
+        println!(
+            "{:<14} {:>8} {:>8} {:>10} {:>10}",
+            m.name(),
+            r.measured.size_bytes,
+            r.measured.ram_bytes,
+            r.measured.min_cycles,
+            r.measured.max_cycles
+        );
+    }
+    println!(
+        "total ROM {} B (incl. RTOS allowance), RAM {} B, synthesis {:?}",
+        result.total_rom, result.total_ram, result.synthesis_time
+    );
+}
+
+fn synth(args: &Args) -> Result<(), String> {
+    let net = load_network(args)?;
+    let opts = options(args)?;
+    let result = synthesize_network(&net, &opts, &RtosConfig::default());
+
+    let out_dir = PathBuf::from(args.flag("o").unwrap_or("."));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create `{}`: {e}", out_dir.display()))?;
+    let write = |name: &str, content: &str| -> Result<(), String> {
+        let p = out_dir.join(name);
+        std::fs::write(&p, content).map_err(|e| format!("cannot write `{}`: {e}", p.display()))?;
+        println!("wrote {}", p.display());
+        Ok(())
+    };
+    write("polis_rtos.h", &emit_network_header(&net))?;
+    write("rtos.c", &result.rtos_c)?;
+    for (m, r) in net.cfsms().iter().zip(&result.machines) {
+        write(&format!("{}.c", m.name()), &r.c_code)?;
+    }
+    println!();
+    cost_table(&net, &result);
+    Ok(())
+}
+
+fn estimate_cmd(args: &Args) -> Result<(), String> {
+    let net = load_network(args)?;
+    let opts = options(args)?;
+    let result = synthesize_network(&net, &opts, &RtosConfig::default());
+    println!(
+        "{:<14} {:>8} {:>8} {:>7} | {:>9} {:>9} {:>7}",
+        "module", "est[B]", "meas[B]", "err%", "est[cyc]", "meas[cyc]", "err%"
+    );
+    for (m, r) in net.cfsms().iter().zip(&result.machines) {
+        let err = |a: u64, b: u64| (a as f64 - b as f64) / (b as f64).max(1.0) * 100.0;
+        println!(
+            "{:<14} {:>8} {:>8} {:>+6.1}% | {:>9} {:>9} {:>+6.1}%",
+            m.name(),
+            r.estimate.size_bytes,
+            r.measured.size_bytes,
+            err(r.estimate.size_bytes, r.measured.size_bytes),
+            r.estimate.max_cycles,
+            r.measured.max_cycles,
+            err(r.estimate.max_cycles, r.measured.max_cycles),
+        );
+    }
+    Ok(())
+}
+
+fn parse_stimuli(path: &str) -> Result<Vec<Stimulus>, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |what: &str| format!("{path}:{}: {what}", lineno + 1);
+        let time: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing time"))?
+            .parse()
+            .map_err(|_| err("bad time"))?;
+        let signal = parts.next().ok_or_else(|| err("missing signal"))?;
+        match parts.next() {
+            Some(v) => out.push(Stimulus::valued(
+                time,
+                signal,
+                v.parse().map_err(|_| err("bad value"))?,
+            )),
+            None => out.push(Stimulus::pure(time, signal)),
+        }
+    }
+    Ok(out)
+}
+
+fn sim(args: &Args) -> Result<(), String> {
+    let net = load_network(args)?;
+    let stim_path = args
+        .flag("stim")
+        .ok_or("sim requires --stim <file>")?;
+    let stim = parse_stimuli(stim_path)?;
+    let mut config = RtosConfig::default();
+    if let Some(target) = args.flag("target") {
+        config.profile = parse_target(target)?;
+    }
+    if let Some(policy) = args.flag("policy") {
+        config.policy = match policy {
+            "rr" => SchedulingPolicy::RoundRobin,
+            "prio" => SchedulingPolicy::StaticPriority {
+                priorities: (0..net.cfsms().len() as u32).collect(),
+            },
+            other => return Err(format!("unknown policy `{other}`")),
+        };
+    }
+    let mut sim = Simulator::build(&net, config);
+    sim.run(&stim);
+    for t in sim.trace() {
+        match t.value {
+            Some(v) => println!("{:>10}  {:<16} = {:<6} (by {})", t.time, t.signal, v, t.by),
+            None => println!("{:>10}  {:<16}          (by {})", t.time, t.signal, t.by),
+        }
+    }
+    let s = sim.stats();
+    println!(
+        "-- {} wall cycles, {} busy ({} in RTOS); reactions {:?}, overwritten {:?}",
+        s.total_cycles, s.busy_cycles, s.rtos_cycles, s.reactions, s.overwritten
+    );
+    Ok(())
+}
+
+fn fmt(args: &Args) -> Result<(), String> {
+    let net = load_network(args)?;
+    print!("{}", polis::lang::emit_network_source(&net));
+    Ok(())
+}
+
+fn dot(args: &Args) -> Result<(), String> {
+    let net = load_network(args)?;
+    let opts = options(args)?;
+    for m in net.cfsms() {
+        if let Some(only) = args.flag("module") {
+            if m.name() != only {
+                continue;
+            }
+        }
+        let r = polis::core::synthesize(m, &opts);
+        println!("{}", r.graph.to_dot());
+    }
+    Ok(())
+}

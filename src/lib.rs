@@ -1,0 +1,62 @@
+//! **polis** — software synthesis for embedded control applications.
+//!
+//! A from-scratch reproduction of Balarin et al., *"Synthesis of Software
+//! Programs for Embedded Control Applications"* (DAC 1995 / IEEE TCAD
+//! 18(6), 1999): networks of codesign finite state machines (CFSMs) are
+//! compiled into optimized reactive C/object code through BDD-represented
+//! characteristic functions and software graphs (s-graphs), with tightly
+//! coupled code-size/cycle estimation and an automatically generated RTOS.
+//!
+//! This crate is the umbrella: it re-exports every layer under a stable
+//! module name. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`expr`] | finite-domain values, expressions, C printing |
+//! | [`bdd`] | ROBDD package with constrained sifting |
+//! | [`cfsm`] | CFSM model, networks, characteristic functions, composition |
+//! | [`sgraph`] | s-graph IR: build (Theorem 1), evaluate, ITE chain, collapsing |
+//! | [`vm`] | virtual micro-controller targets, assembler, executor |
+//! | [`estimate`] | calibrated cost/performance estimation |
+//! | [`codegen`] | C emission and the two-level-jump baseline |
+//! | [`rtos`] | generated RTOS and network co-simulation |
+//! | [`lang`] | textual CFSM specification language |
+//! | [`core`] | end-to-end pipeline and evaluation workloads |
+//!
+//! # Examples
+//!
+//! The paper's Fig. 1 module, from source text to measured object code:
+//!
+//! ```
+//! use polis::core::{synthesize, SynthesisOptions};
+//! use polis::lang::parse_module;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let simple = parse_module(
+//!     "module simple {
+//!         input c : u8;
+//!         output y;
+//!         var a : u8 := 0;
+//!         state awaiting;
+//!         from awaiting to awaiting when c && [a == ?c] do { a := 0; emit y; }
+//!         from awaiting to awaiting when c && ![a == ?c] do { a := a + 1; }
+//!     }",
+//! )?;
+//! let result = synthesize(&simple, &SynthesisOptions::default());
+//! assert!(result.c_code.contains("void simple_react"));
+//! assert!(result.estimate.max_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use polis_bdd as bdd;
+pub use polis_cfsm as cfsm;
+pub use polis_codegen as codegen;
+pub use polis_core as core;
+pub use polis_estimate as estimate;
+pub use polis_expr as expr;
+pub use polis_lang as lang;
+pub use polis_rtos as rtos;
+pub use polis_sgraph as sgraph;
+pub use polis_vm as vm;

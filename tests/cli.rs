@@ -1,0 +1,150 @@
+//! End-to-end tests of the `polis` command-line tool.
+
+use std::path::Path;
+use std::process::Command;
+
+const SPEC: &str = r#"
+module pinger {
+    input go;
+    output ping;
+    state s;
+    from s to s when go do { emit ping; }
+}
+module ponger {
+    input ping;
+    output pong;
+    state s;
+    from s to s when ping do { emit pong; }
+}
+"#;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_polis"))
+}
+
+fn write(dir: &Path, name: &str, content: &str) -> String {
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p.to_string_lossy().into_owned()
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("polis_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn synth_writes_c_files_and_cost_table() {
+    let dir = tmpdir("synth");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let out = bin()
+        .args(["synth", &spec, "-o"])
+        .arg(dir.join("gen"))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pinger"));
+    assert!(stdout.contains("total ROM"));
+    for f in ["polis_rtos.h", "rtos.c", "pinger.c", "ponger.c"] {
+        assert!(dir.join("gen").join(f).exists(), "missing {f}");
+    }
+    let c = std::fs::read_to_string(dir.join("gen/pinger.c")).unwrap();
+    assert!(c.contains("void pinger_react"));
+}
+
+#[test]
+fn estimate_prints_error_columns() {
+    let dir = tmpdir("est");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let out = bin().args(["estimate", &spec]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("err%"), "{stdout}");
+    assert!(stdout.contains("pinger"));
+}
+
+#[test]
+fn sim_runs_a_stimulus_file() {
+    let dir = tmpdir("sim");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let stim = write(&dir, "stim.txt", "# demo\n0 go\n1000 go\n");
+    let out = bin()
+        .args(["sim", &spec, "--stim", &stim])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("ping ").count(), 2, "{stdout}");
+    assert_eq!(stdout.matches("pong ").count(), 2, "{stdout}");
+    assert!(stdout.contains("busy"));
+}
+
+#[test]
+fn dot_emits_graphviz_for_selected_module() {
+    let dir = tmpdir("dot");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let out = bin()
+        .args(["dot", &spec, "--module", "ponger"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("digraph \"ponger\""));
+    assert!(!stdout.contains("digraph \"pinger\""));
+}
+
+#[test]
+fn fmt_normalizes_and_roundtrips() {
+    let dir = tmpdir("fmt");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let out = bin().args(["fmt", &spec]).output().unwrap();
+    assert!(out.status.success());
+    let formatted = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(formatted.contains("module pinger {"));
+    // Formatting the formatter's output is a fixpoint.
+    let spec2 = write(&dir, "pp2.pol", &formatted);
+    let out2 = bin().args(["fmt", &spec2]).output().unwrap();
+    assert!(out2.status.success());
+    assert_eq!(String::from_utf8_lossy(&out2.stdout), formatted);
+}
+
+#[test]
+fn errors_are_reported_with_positions() {
+    let dir = tmpdir("err");
+    let spec = write(&dir, "bad.pol", "module m {\n  input $;\n}");
+    let out = bin().args(["synth", &spec]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2:"), "{stderr}");
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn style_and_target_flags_change_output() {
+    let dir = tmpdir("style");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let run = |extra: &[&str]| -> String {
+        let out = bin()
+            .args(["estimate", &spec])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let dg = run(&[]);
+    let chain = run(&["--style", "chain"]);
+    let risc = run(&["--target", "risc32"]);
+    assert_ne!(dg, chain);
+    assert_ne!(dg, risc);
+    let bad = bin()
+        .args(["estimate", &spec, "--style", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}
