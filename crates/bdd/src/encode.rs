@@ -172,8 +172,7 @@ mod tests {
             assert_eq!(b.sat_count(f), 1, "value {v}");
             // the satisfying assignment decodes back to v
             let cube = b.pick_cube(f).unwrap();
-            let assign =
-                |var: Var| cube.iter().any(|&(cv, val)| cv == var && val);
+            let assign = |var: Var| cube.iter().any(|&(cv, val)| cv == var && val);
             assert_eq!(mv.decode(assign), v);
         }
     }

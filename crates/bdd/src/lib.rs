@@ -123,6 +123,42 @@ pub struct Bdd {
     ite_cache: HashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
     /// Total `mk` calls; a rough work counter exposed for benchmarks.
     mk_calls: u64,
+    /// Operation-cache probes in `ite` (excluding terminal short-circuits).
+    cache_lookups: u64,
+    /// Operation-cache hits in `ite`.
+    cache_hits: u64,
+    /// Adjacent-level swaps performed (by `swap_levels`, hence by sifting).
+    swap_count: u64,
+}
+
+/// A snapshot of the manager's work counters, exposed so the synthesis
+/// pipeline can record layer-native metrics per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddStats {
+    /// Total `mk` invocations.
+    pub mk_calls: u64,
+    /// Operation-cache probes in `ite`.
+    pub cache_lookups: u64,
+    /// Operation-cache hits in `ite`.
+    pub cache_hits: u64,
+    /// Adjacent-level swaps performed by reordering.
+    pub swap_count: u64,
+    /// Live entries across the per-variable unique tables.
+    pub unique_entries: u64,
+    /// Entries currently in the ITE operation cache.
+    pub cache_entries: u64,
+}
+
+impl BddStats {
+    /// Hit rate of the ITE operation cache in `[0, 1]`; zero when no
+    /// lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
 }
 
 impl Default for Bdd {
@@ -154,6 +190,9 @@ impl Bdd {
             var_names: Vec::new(),
             ite_cache: HashMap::new(),
             mk_calls: 0,
+            cache_lookups: 0,
+            cache_hits: 0,
+            swap_count: 0,
         }
     }
 
@@ -199,6 +238,19 @@ impl Bdd {
     /// Total `mk` invocations so far (work counter for benchmarks).
     pub fn mk_calls(&self) -> u64 {
         self.mk_calls
+    }
+
+    /// Snapshot of the manager's cumulative work counters and current
+    /// table sizes.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            mk_calls: self.mk_calls,
+            cache_lookups: self.cache_lookups,
+            cache_hits: self.cache_hits,
+            swap_count: self.swap_count,
+            unique_entries: self.unique.iter().map(|t| t.len() as u64).sum(),
+            cache_entries: self.ite_cache.len() as u64,
+        }
     }
 
     fn level_of_node(&self, n: NodeRef) -> u32 {
@@ -315,7 +367,9 @@ impl Bdd {
             // f·g + !f·f = f·g = ite(f, g, 0)
             return self.ite(f, g, NodeRef::FALSE);
         }
+        self.cache_lookups += 1;
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            self.cache_hits += 1;
             return r;
         }
         let top = self

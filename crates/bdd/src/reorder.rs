@@ -65,6 +65,7 @@ impl Bdd {
             level + 1 < self.num_vars(),
             "swap_levels: level {level} out of range"
         );
+        self.swap_count += 1;
         let x = self.var_at(level).0;
         let y = self.var_at(level + 1).0;
 
@@ -86,8 +87,16 @@ impl Bdd {
             // n = x ? hi : lo, so f_{x=a, y=b} = (a ? hi : lo)|_{y=b}.
             let (lo_var, lo_lo, lo_hi) = self.node(lo);
             let (hi_var, hi_lo, hi_hi) = self.node(hi);
-            let (f00, f01) = if lo_var == y { (lo_lo, lo_hi) } else { (lo, lo) };
-            let (f10, f11) = if hi_var == y { (hi_lo, hi_hi) } else { (hi, hi) };
+            let (f00, f01) = if lo_var == y {
+                (lo_lo, lo_hi)
+            } else {
+                (lo, lo)
+            };
+            let (f10, f11) = if hi_var == y {
+                (hi_lo, hi_hi)
+            } else {
+                (hi, hi)
+            };
             // After the swap y is on top: n = y ? (x ? f11 : f01)
             //                                   : (x ? f10 : f00).
             let new_lo = self.make_inner(x, f00, f10);

@@ -1,8 +1,10 @@
-//! Property-based tests: the BDD package against brute-force truth tables.
+//! Property-style tests: the BDD package against brute-force truth tables,
+//! over deterministically seeded random expressions (offline-safe, no
+//! external property-testing framework).
 
 use polis_bdd::reorder::SiftConfig;
 use polis_bdd::{Bdd, NodeRef, Var};
-use proptest::prelude::*;
+use polis_core::random::Rng;
 
 /// A random Boolean expression over `NVARS` variables.
 #[derive(Debug, Clone)]
@@ -17,25 +19,44 @@ enum BoolExpr {
 }
 
 const NVARS: usize = 6;
+const CASES: u64 = 64;
 
-fn arb_expr() -> impl Strategy<Value = BoolExpr> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(BoolExpr::Const),
-        (0..NVARS).prop_map(BoolExpr::Var),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| BoolExpr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BoolExpr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BoolExpr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| BoolExpr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| BoolExpr::Ite(Box::new(c), Box::new(t), Box::new(e))),
-        ]
-    })
+/// Depth-bounded random expression, mirroring the old proptest strategy.
+fn gen_expr(rng: &mut Rng, depth: usize) -> BoolExpr {
+    if depth == 0 || rng.chance(0.25) {
+        return if rng.chance(0.3) {
+            BoolExpr::Const(rng.bool())
+        } else {
+            BoolExpr::Var(rng.usize(0..NVARS))
+        };
+    }
+    match rng.usize(0..5) {
+        0 => BoolExpr::Not(Box::new(gen_expr(rng, depth - 1))),
+        1 => BoolExpr::And(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        2 => BoolExpr::Or(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        3 => BoolExpr::Xor(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => BoolExpr::Ite(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    }
+}
+
+/// One seeded expression per test case, varied in depth.
+fn case_expr(case: u64) -> BoolExpr {
+    let mut rng = Rng::new(0xb00_1e5 ^ case.wrapping_mul(0x9e37));
+    let depth = 1 + (case % 5) as usize;
+    gen_expr(&mut rng, depth)
 }
 
 impl BoolExpr {
@@ -97,44 +118,66 @@ fn setup(expr: &BoolExpr) -> (Bdd, Vec<Var>, NodeRef) {
     (bdd, vars, f)
 }
 
-proptest! {
-    #[test]
-    fn bdd_matches_truth_table(expr in arb_expr()) {
+#[test]
+fn bdd_matches_truth_table() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
         let (bdd, vars, f) = setup(&expr);
         for bits in 0..1u32 << NVARS {
             let assign = |v: Var| {
                 let i = vars.iter().position(|&x| x == v).unwrap();
                 bits & (1 << i) != 0
             };
-            prop_assert_eq!(bdd.eval(f, assign), expr.eval(bits), "bits={:06b}", bits);
+            assert_eq!(
+                bdd.eval(f, assign),
+                expr.eval(bits),
+                "case={case} bits={bits:06b}"
+            );
         }
     }
+}
 
-    #[test]
-    fn sat_count_matches_truth_table(expr in arb_expr()) {
+#[test]
+fn sat_count_matches_truth_table() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
         let (bdd, _vars, f) = setup(&expr);
         let brute = (0..1u32 << NVARS).filter(|&b| expr.eval(b)).count() as u128;
-        prop_assert_eq!(bdd.sat_count(f), brute);
+        assert_eq!(bdd.sat_count(f), brute, "case={case}");
     }
+}
 
-    #[test]
-    fn restrict_matches_substitution(expr in arb_expr(), vi in 0..NVARS, val in any::<bool>()) {
+#[test]
+fn restrict_matches_substitution() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
+        let mut rng = Rng::new(case);
+        let vi = rng.usize(0..NVARS);
+        let val = rng.bool();
         let (mut bdd, vars, f) = setup(&expr);
         let r = bdd.restrict(f, vars[vi], val);
         // The restricted function no longer depends on the variable.
-        prop_assert!(!bdd.support(r).contains(&vars[vi]));
+        assert!(!bdd.support(r).contains(&vars[vi]), "case={case}");
         for bits in 0..1u32 << NVARS {
-            let forced = if val { bits | (1 << vi) } else { bits & !(1 << vi) };
+            let forced = if val {
+                bits | (1 << vi)
+            } else {
+                bits & !(1 << vi)
+            };
             let assign = |v: Var| {
                 let i = vars.iter().position(|&x| x == v).unwrap();
                 bits & (1 << i) != 0
             };
-            prop_assert_eq!(bdd.eval(r, assign), expr.eval(forced));
+            assert_eq!(bdd.eval(r, assign), expr.eval(forced), "case={case}");
         }
     }
+}
 
-    #[test]
-    fn exists_is_or_of_cofactors(expr in arb_expr(), vi in 0..NVARS) {
+#[test]
+fn exists_is_or_of_cofactors() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
+        let vi = (case as usize).wrapping_mul(7) % NVARS;
         let (mut bdd, vars, f) = setup(&expr);
         let e = bdd.exists(f, vars[vi]);
         for bits in 0..1u32 << NVARS {
@@ -143,39 +186,53 @@ proptest! {
                 bits & (1 << i) != 0
             };
             let want = expr.eval(bits | (1 << vi)) || expr.eval(bits & !(1 << vi));
-            prop_assert_eq!(bdd.eval(e, assign), want);
+            assert_eq!(bdd.eval(e, assign), want, "case={case}");
         }
     }
+}
 
-    #[test]
-    fn sifting_preserves_function_and_never_grows(expr in arb_expr()) {
+#[test]
+fn sifting_preserves_function_and_never_grows() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
         let (mut bdd, vars, f) = setup(&expr);
         bdd.gc(&[f]);
         let before = bdd.size(&[f]);
         let after = bdd.sift(&[f], &SiftConfig::to_convergence());
-        prop_assert!(after <= before, "sift grew the BDD: {} -> {}", before, after);
+        assert!(
+            after <= before,
+            "case={case}: sift grew the BDD: {before} -> {after}"
+        );
         for bits in 0..1u32 << NVARS {
             let assign = |v: Var| {
                 let i = vars.iter().position(|&x| x == v).unwrap();
                 bits & (1 << i) != 0
             };
-            prop_assert_eq!(bdd.eval(f, assign), expr.eval(bits));
+            assert_eq!(bdd.eval(f, assign), expr.eval(bits), "case={case}");
         }
     }
+}
 
-    #[test]
-    fn random_swaps_preserve_canonicity(expr in arb_expr(), swaps in proptest::collection::vec(0..NVARS - 1, 0..12)) {
+#[test]
+fn random_swaps_preserve_canonicity() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
         let (mut bdd, vars, f) = setup(&expr);
-        for l in swaps {
-            bdd.swap_levels(l);
+        let mut rng = Rng::new(case ^ 0x5a5a);
+        for _ in 0..rng.usize(0..12) {
+            bdd.swap_levels(rng.usize(0..NVARS - 1));
         }
         // Rebuilding the same function must land on the same node.
         let g = expr.build(&mut bdd, &vars);
-        prop_assert_eq!(f, g, "canonicity violated after swaps");
+        assert_eq!(f, g, "case={case}: canonicity violated after swaps");
     }
+}
 
-    #[test]
-    fn forall_is_and_of_cofactors(expr in arb_expr(), vi in 0..NVARS) {
+#[test]
+fn forall_is_and_of_cofactors() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
+        let vi = (case as usize).wrapping_mul(11) % NVARS;
         let (mut bdd, vars, f) = setup(&expr);
         let a = bdd.forall(f, vars[vi]);
         for bits in 0..1u32 << NVARS {
@@ -184,12 +241,16 @@ proptest! {
                 bits & (1 << i) != 0
             };
             let want = expr.eval(bits | (1 << vi)) && expr.eval(bits & !(1 << vi));
-            prop_assert_eq!(bdd.eval(a, assign), want);
+            assert_eq!(bdd.eval(a, assign), want, "case={case}");
         }
     }
+}
 
-    #[test]
-    fn iff_and_implies_laws(ea in arb_expr(), eb in arb_expr()) {
+#[test]
+fn iff_and_implies_laws() {
+    for case in 0..CASES {
+        let ea = case_expr(case);
+        let eb = case_expr(case ^ 0xffff);
         let mut bdd = Bdd::new();
         let vars: Vec<Var> = (0..NVARS).map(|i| bdd.new_var(format!("x{i}"))).collect();
         let fa = ea.build(&mut bdd, &vars);
@@ -199,25 +260,32 @@ proptest! {
         let imp_ba = bdd.implies(fb, fa);
         // (a <-> b) == (a -> b) && (b -> a), canonically.
         let both = bdd.and(imp_ab, imp_ba);
-        prop_assert_eq!(iff, both);
+        assert_eq!(iff, both, "case={case}");
         // a -> a is a tautology.
-        prop_assert!(bdd.implies(fa, fa).is_true());
+        assert!(bdd.implies(fa, fa).is_true(), "case={case}");
     }
+}
 
-    #[test]
-    fn pick_cube_always_satisfies(expr in arb_expr()) {
+#[test]
+fn pick_cube_always_satisfies() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
         let (bdd, _vars, f) = setup(&expr);
         match bdd.pick_cube(f) {
-            None => prop_assert!(f.is_false()),
+            None => assert!(f.is_false(), "case={case}"),
             Some(cube) => {
                 let assign = |v: Var| cube.iter().any(|&(cv, val)| cv == v && val);
-                prop_assert!(bdd.eval(f, assign));
+                assert!(bdd.eval(f, assign), "case={case}");
             }
         }
     }
+}
 
-    #[test]
-    fn gc_preserves_registered_roots(expr in arb_expr(), other in arb_expr()) {
+#[test]
+fn gc_preserves_registered_roots() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
+        let other = case_expr(case ^ 0xabcd);
         let mut bdd = Bdd::new();
         let vars: Vec<Var> = (0..NVARS).map(|i| bdd.new_var(format!("x{i}"))).collect();
         let f = expr.build(&mut bdd, &vars);
@@ -228,31 +296,37 @@ proptest! {
                 let i = vars.iter().position(|&x| x == v).unwrap();
                 bits & (1 << i) != 0
             };
-            prop_assert_eq!(bdd.eval(f, assign), expr.eval(bits));
+            assert_eq!(bdd.eval(f, assign), expr.eval(bits), "case={case}");
         }
         // Rebuilding after GC still hash-conses onto the kept root.
         let g = expr.build(&mut bdd, &vars);
-        prop_assert_eq!(f, g);
+        assert_eq!(f, g, "case={case}");
     }
+}
 
-    #[test]
-    fn mv_such_that_counts_match(domain in 1u64..24, modulus in 1u64..6) {
-        let mut bdd = Bdd::new();
-        let mv = polis_bdd::encode::MvVar::new(&mut bdd, "m", domain);
-        let f = mv.such_that(&mut bdd, |v| v % modulus == 0);
-        let expected = (0..domain).filter(|v| v % modulus == 0).count() as u128;
-        prop_assert_eq!(bdd.sat_count(f), expected);
+#[test]
+fn mv_such_that_counts_match() {
+    for domain in 1u64..24 {
+        for modulus in 1u64..6 {
+            let mut bdd = Bdd::new();
+            let mv = polis_bdd::encode::MvVar::new(&mut bdd, "m", domain);
+            let f = mv.such_that(&mut bdd, |v| v % modulus == 0);
+            let expected = (0..domain).filter(|v| v % modulus == 0).count() as u128;
+            assert_eq!(bdd.sat_count(f), expected, "domain={domain} mod={modulus}");
+        }
     }
+}
 
-    #[test]
-    fn support_is_exact(expr in arb_expr()) {
+#[test]
+fn support_is_exact() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
         let (bdd, vars, f) = setup(&expr);
         let sup = bdd.support(f);
         for (i, &v) in vars.iter().enumerate() {
-            let depends = (0..1u32 << NVARS).any(|bits| {
-                expr.eval(bits | (1 << i)) != expr.eval(bits & !(1 << i))
-            });
-            prop_assert_eq!(sup.contains(&v), depends, "var {}", i);
+            let depends = (0..1u32 << NVARS)
+                .any(|bits| expr.eval(bits | (1 << i)) != expr.eval(bits & !(1 << i)));
+            assert_eq!(sup.contains(&v), depends, "case={case} var {i}");
         }
     }
 }

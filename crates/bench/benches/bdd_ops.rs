@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks for the BDD substrate: apply operations,
+//! Micro-benchmarks for the BDD substrate: apply operations,
 //! characteristic-function construction, and constrained sifting.
+//! Uses the self-contained harness in `polis_bench::bench` so the
+//! workspace builds offline.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use polis_bdd::reorder::SiftConfig;
 use polis_bdd::{Bdd, NodeRef, Var};
+use polis_bench::bench;
 use polis_cfsm::{OrderScheme, ReactiveFn};
 use polis_core::random::{random_cfsm, RandomSpec};
 use polis_core::workloads;
@@ -28,50 +30,31 @@ fn bad_pairs(bdd: &mut Bdd, pairs: usize) -> NodeRef {
     f
 }
 
-fn bench_apply(c: &mut Criterion) {
-    c.bench_function("bdd/build_pairs_8", |b| {
-        b.iter(|| {
-            let mut bdd = Bdd::new();
-            bad_pairs(&mut bdd, 8)
-        })
+fn main() {
+    bench("bdd/build_pairs_8", || {
+        let mut bdd = Bdd::new();
+        bad_pairs(&mut bdd, 8)
     });
-}
 
-fn bench_sift(c: &mut Criterion) {
-    c.bench_function("bdd/sift_pairs_8", |b| {
-        b.iter_batched(
-            || {
-                let mut bdd = Bdd::new();
-                let f = bad_pairs(&mut bdd, 8);
-                (bdd, f)
-            },
-            |(mut bdd, f)| bdd.sift(&[f], &SiftConfig::to_convergence()),
-            BatchSize::SmallInput,
-        )
+    bench("bdd/sift_pairs_8", || {
+        let mut bdd = Bdd::new();
+        let f = bad_pairs(&mut bdd, 8);
+        bdd.sift(&[f], &SiftConfig::to_convergence())
     });
-}
 
-fn bench_chi(c: &mut Criterion) {
     let net = workloads::dashboard();
     let fuel = net.cfsms()[net.machine_index("fuel").unwrap()].clone();
-    c.bench_function("chi/build_fuel", |b| {
-        b.iter(|| ReactiveFn::build(&fuel))
-    });
+    bench("chi/build_fuel", || ReactiveFn::build(&fuel));
+
     let spec = RandomSpec {
         states: 4,
         transitions: 12,
         ..RandomSpec::default()
     };
     let m = random_cfsm("bench", &spec, 11);
-    c.bench_function("chi/build_random_12t", |b| b.iter(|| ReactiveFn::build(&m)));
-    c.bench_function("chi/sift_random_12t", |b| {
-        b.iter_batched(
-            || ReactiveFn::build(&m),
-            |mut rf| rf.sift(OrderScheme::OutputsAfterSupport),
-            BatchSize::SmallInput,
-        )
+    bench("chi/build_random_12t", || ReactiveFn::build(&m));
+    bench("chi/sift_random_12t", || {
+        let mut rf = ReactiveFn::build(&m);
+        rf.sift(OrderScheme::OutputsAfterSupport)
     });
 }
-
-criterion_group!(benches, bench_apply, bench_sift, bench_chi);
-criterion_main!(benches);

@@ -1,17 +1,15 @@
-//! Criterion benchmarks for the execution substrates: single-reaction
+//! Benchmarks for the execution substrates: single-reaction
 //! virtual-machine runs and RTOS co-simulation throughput.
+//! Uses the self-contained harness in `polis_bench::bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use polis_bench::dashboard_stimulus;
+use polis_bench::{bench, dashboard_stimulus};
 use polis_cfsm::{OrderScheme, ReactiveFn};
 use polis_core::workloads;
 use polis_rtos::{RtosConfig, Simulator};
 use polis_sgraph::build;
-use polis_vm::{
-    assemble, compile, run_reaction, BufferPolicy, CollectingHost, Profile, VmMemory,
-};
+use polis_vm::{assemble, compile, run_reaction, BufferPolicy, CollectingHost, Profile, VmMemory};
 
-fn bench_reaction(c: &mut Criterion) {
+fn main() {
     let net = workloads::dashboard();
     let m = net.cfsms()[net.machine_index("fuel").unwrap()].clone();
     let mut rf = ReactiveFn::build(&m);
@@ -19,31 +17,16 @@ fn bench_reaction(c: &mut Criterion) {
     let g = build(&rf).expect("builds");
     let prog = compile(&m, &g, BufferPolicy::All);
     let obj = assemble(&prog, Profile::Mcu8);
-    c.bench_function("vm/react_fuel", |b| {
-        b.iter_batched(
-            || (VmMemory::new(&prog), CollectingHost::new(vec![true])),
-            |(mut mem, mut host)| {
-                run_reaction(&prog, &obj, &mut mem, &mut host).expect("runs")
-            },
-            BatchSize::SmallInput,
-        )
+    bench("vm/react_fuel", || {
+        let mut mem = VmMemory::new(&prog);
+        let mut host = CollectingHost::new(vec![true]);
+        run_reaction(&prog, &obj, &mut mem, &mut host).expect("runs")
     });
-}
 
-fn bench_simulation(c: &mut Criterion) {
-    let net = workloads::dashboard();
     let stim = dashboard_stimulus(400);
-    c.bench_function("rtos/simulate_dashboard_400", |b| {
-        b.iter_batched(
-            || Simulator::build(&net, RtosConfig::default()),
-            |mut sim| {
-                sim.run(&stim);
-                sim.stats().total_cycles
-            },
-            BatchSize::SmallInput,
-        )
+    bench("rtos/simulate_dashboard_400", || {
+        let mut sim = Simulator::build(&net, RtosConfig::default());
+        sim.run(&stim);
+        sim.stats().total_cycles
     });
 }
-
-criterion_group!(benches, bench_reaction, bench_simulation);
-criterion_main!(benches);

@@ -1,58 +1,42 @@
-//! Criterion benchmarks for the synthesis pipeline: s-graph construction,
+//! Benchmarks for the synthesis pipeline: s-graph construction,
 //! instruction selection, assembly, and the end-to-end flow per dashboard
-//! module.
+//! module. Uses the self-contained harness in `polis_bench::bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use polis_bench::bench;
 use polis_cfsm::{OrderScheme, ReactiveFn};
 use polis_core::{synthesize_with_params, workloads, SynthesisOptions};
 use polis_estimate::calibrate;
 use polis_sgraph::build;
 use polis_vm::{assemble, compile, BufferPolicy, Profile};
 
-fn bench_sgraph_build(c: &mut Criterion) {
+fn main() {
     let net = workloads::dashboard();
-    let m = net.cfsms()[net.machine_index("odometer").unwrap()].clone();
-    c.bench_function("sgraph/build_odometer", |b| {
-        b.iter_batched(
-            || {
-                let mut rf = ReactiveFn::build(&m);
-                rf.sift(OrderScheme::OutputsAfterSupport);
-                rf
-            },
-            |rf| build(&rf).expect("builds"),
-            BatchSize::SmallInput,
-        )
+    let odometer = net.cfsms()[net.machine_index("odometer").unwrap()].clone();
+    bench("sgraph/build_odometer", || {
+        let mut rf = ReactiveFn::build(&odometer);
+        rf.sift(OrderScheme::OutputsAfterSupport);
+        build(&rf).expect("builds")
     });
-}
 
-fn bench_compile_assemble(c: &mut Criterion) {
-    let net = workloads::shock_absorber();
-    let m = net.cfsms()[net.machine_index("mode").unwrap()].clone();
-    let mut rf = ReactiveFn::build(&m);
+    let shock = workloads::shock_absorber();
+    let mode = shock.cfsms()[shock.machine_index("mode").unwrap()].clone();
+    let mut rf = ReactiveFn::build(&mode);
     rf.sift(OrderScheme::OutputsAfterSupport);
     let g = build(&rf).expect("builds");
-    c.bench_function("vm/compile_mode", |b| {
-        b.iter(|| compile(&m, &g, BufferPolicy::All))
-    });
-    let prog = compile(&m, &g, BufferPolicy::All);
-    c.bench_function("vm/assemble_mode_mcu8", |b| {
-        b.iter(|| assemble(&prog, Profile::Mcu8))
-    });
-}
+    bench("vm/compile_mode", || compile(&mode, &g, BufferPolicy::All));
+    let prog = compile(&mode, &g, BufferPolicy::All);
+    bench("vm/assemble_mode_mcu8", || assemble(&prog, Profile::Mcu8));
 
-fn bench_pipeline(c: &mut Criterion) {
-    let net = workloads::dashboard();
     let params = calibrate(Profile::Mcu8);
     let opts = SynthesisOptions::default();
-    c.bench_function("pipeline/dashboard_all_modules", |b| {
-        b.iter(|| {
-            net.cfsms()
-                .iter()
-                .map(|m| synthesize_with_params(m, &opts, &params).measured.size_bytes)
-                .sum::<u64>()
-        })
+    bench("pipeline/dashboard_all_modules", || {
+        net.cfsms()
+            .iter()
+            .map(|m| {
+                synthesize_with_params(m, &opts, &params)
+                    .measured
+                    .size_bytes
+            })
+            .sum::<u64>()
     });
 }
-
-criterion_group!(benches, bench_sgraph_build, bench_compile_assemble, bench_pipeline);
-criterion_main!(benches);

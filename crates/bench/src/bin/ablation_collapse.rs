@@ -47,11 +47,13 @@ fn main() {
             );
         }
     }
-    println!(
-        "\ncollapsing improved both size and time on {improvements}/{total} machines"
-    );
+    println!("\ncollapsing improved both size and time on {improvements}/{total} machines");
     println!(
         "shape check (paper: no consistent improvement): {}",
-        if improvements * 2 <= total { "HOLDS" } else { "VIOLATED" }
+        if improvements * 2 <= total {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

@@ -10,11 +10,9 @@
 
 use polis_cfsm::{OrderScheme, ReactiveFn};
 use polis_core::workloads;
-use polis_estimate::{
-    calibrate, derive_incompatibilities, estimate, max_cycles_false_path_aware,
-};
-use polis_sgraph::{build, BufferPolicy};
+use polis_estimate::{calibrate, derive_incompatibilities, estimate, max_cycles_false_path_aware};
 use polis_expr::{Expr, Type, Value};
+use polis_sgraph::{build, BufferPolicy};
 use polis_vm::Profile;
 
 /// A controller whose specification contains a dead guard combination

@@ -30,7 +30,14 @@ fn main() {
 
     // Granularity points: merges of progressively larger islands.
     let full_names: Vec<&str> = vec![
-        "frc", "rpc", "speedo", "tach", "odometer", "fuel", "pwm_speed", "pwm_fuel",
+        "frc",
+        "rpc",
+        "speedo",
+        "tach",
+        "odometer",
+        "fuel",
+        "pwm_speed",
+        "pwm_fuel",
     ];
     let points: Vec<(String, Network)> = vec![
         ("8 CFSMs (distributed)".to_owned(), base.clone()),
@@ -38,13 +45,10 @@ fn main() {
             "7 CFSMs (frc+speedo)".to_owned(),
             compose::compose_subset(&base, &["frc", "speedo"]).expect("merge"),
         ),
-        (
-            "6 CFSMs (+rpc+tach)".to_owned(),
-            {
-                let n = compose::compose_subset(&base, &["frc", "speedo"]).expect("merge");
-                compose::compose_subset(&n, &["rpc", "tach"]).expect("merge")
-            },
-        ),
+        ("6 CFSMs (+rpc+tach)".to_owned(), {
+            let n = compose::compose_subset(&base, &["frc", "speedo"]).expect("merge");
+            compose::compose_subset(&n, &["rpc", "tach"]).expect("merge")
+        }),
         ("1 CFSM (full product)".to_owned(), {
             let product = compose::compose(&base).expect("composes");
             Network::new("dash1", vec![product]).unwrap()
@@ -52,7 +56,10 @@ fn main() {
     ];
     let _ = full_names;
 
-    println!("Granularity sweep (dashboard, Risc32, {} stimuli)\n", stim.len());
+    println!(
+        "Granularity sweep (dashboard, Risc32, {} stimuli)\n",
+        stim.len()
+    );
     println!(
         "| {:<24} | {:>9} | {:>12} | {:>10} |",
         "granularity", "ROM[B]", "busy cycles", "reactions"
@@ -64,7 +71,11 @@ fn main() {
         let rom: u64 = net
             .cfsms()
             .iter()
-            .map(|m| synthesize_with_params(m, &opts, &params).measured.size_bytes)
+            .map(|m| {
+                synthesize_with_params(m, &opts, &params)
+                    .measured
+                    .size_bytes
+            })
             .sum();
         let mut sim = Simulator::build(net, rtos.clone());
         sim.run(&stim);
@@ -81,9 +92,8 @@ fn main() {
     }
 
     println!("\nshape checks:");
-    let check = |label: &str, ok: bool| {
-        println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" })
-    };
+    let check =
+        |label: &str, ok: bool| println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" });
     check(
         "code size grows with island size",
         roms.last() > roms.first(),

@@ -40,7 +40,12 @@ fn main() {
     );
     println!("|{}|", "-".repeat(64));
     let mut verdicts = Vec::new();
-    for (pulse, window) in [(4_000u64, 40_000u64), (1_000, 10_000), (400, 4_000), (250, 2_500)] {
+    for (pulse, window) in [
+        (4_000u64, 40_000u64),
+        (1_000, 10_000),
+        (400, 4_000),
+        (250, 2_500),
+    ] {
         let tasks: Vec<TaskModel> = net
             .cfsms()
             .iter()
@@ -60,8 +65,16 @@ fn main() {
             pulse,
             window,
             a.utilization * 100.0,
-            if pre.passes_utilization_test { "pass" } else { "beyond" },
-            if a.schedulable { "SCHEDULABLE" } else { "MISSES" }
+            if pre.passes_utilization_test {
+                "pass"
+            } else {
+                "beyond"
+            },
+            if a.schedulable {
+                "SCHEDULABLE"
+            } else {
+                "MISSES"
+            }
         );
         verdicts.push((pulse, window, a));
     }

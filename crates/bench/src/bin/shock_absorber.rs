@@ -17,13 +17,13 @@ use polis_sgraph::BufferPolicy;
 
 fn main() {
     let net = workloads::shock_absorber();
-    println!("Section V-B: shock absorber redesign ({} CFSMs)\n", net.cfsms().len());
+    println!(
+        "Section V-B: shock absorber redesign ({} CFSMs)\n",
+        net.cfsms().len()
+    );
 
     let variants: [(&str, SynthesisOptions); 3] = [
-        (
-            "synthesized (buffer-all)",
-            SynthesisOptions::default(),
-        ),
+        ("synthesized (buffer-all)", SynthesisOptions::default()),
         (
             "synthesized + dataflow opt",
             SynthesisOptions {
@@ -41,7 +41,10 @@ fn main() {
         ),
     ];
 
-    println!("| {:<28} | {:>8} | {:>8} |", "implementation", "ROM[B]", "RAM[B]");
+    println!(
+        "| {:<28} | {:>8} | {:>8} |",
+        "implementation", "ROM[B]", "RAM[B]"
+    );
     println!("|{}|", "-".repeat(52));
     let mut roms = Vec::new();
     let mut rams = Vec::new();
@@ -72,9 +75,15 @@ fn main() {
     }
 
     let budget = 12_000u64; // the "12 unit" I/O latency budget, in cycles
-    println!("\n| {:<28} | {:>16} | {:>7} |", "implementation", "worst lat [cyc]", "budget");
+    println!(
+        "\n| {:<28} | {:>16} | {:>7} |",
+        "implementation", "worst lat [cyc]", "budget"
+    );
     println!("|{}|", "-".repeat(59));
-    for (label, style) in [("synthesized", None), ("manual-style baseline", Some(ImplStyle::TwoLevel))] {
+    for (label, style) in [
+        ("synthesized", None),
+        ("manual-style baseline", Some(ImplStyle::TwoLevel)),
+    ] {
         let graphs: Option<Vec<_>> = style.map(|s| {
             net.cfsms()
                 .iter()
@@ -107,9 +116,8 @@ fn main() {
     }
 
     println!("\nshape checks:");
-    let check = |label: &str, ok: bool| {
-        println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" })
-    };
+    let check =
+        |label: &str, ok: bool| println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" });
     check(
         "synthesized (buffer-all) uses more RAM than the manual-style baseline",
         rams[0] > rams[2],

@@ -50,9 +50,13 @@ fn main() {
         "-",
         "-"
     );
+    println!("\nworst-case estimation error: size {worst_size:.1}%, max cycles {worst_time:.1}%");
     println!(
-        "\nworst-case estimation error: size {worst_size:.1}%, max cycles {worst_time:.1}%"
+        "shape check (paper: estimates track measurement closely): {}",
+        if worst_size < 25.0 && worst_time < 25.0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
-    println!("shape check (paper: estimates track measurement closely): {}",
-        if worst_size < 25.0 && worst_time < 25.0 { "HOLDS" } else { "VIOLATED" });
 }

@@ -84,13 +84,9 @@ fn main() {
 
     println!("\nworst-case reaction cycles per variant: {max_spread:?}");
     println!("shape checks:");
-    let check = |label: &str, ok: bool| {
-        println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" })
-    };
-    check(
-        "sifted (after-support) <= naive",
-        totals[2] <= totals[0],
-    );
+    let check =
+        |label: &str, ok: bool| println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" });
+    check("sifted (after-support) <= naive", totals[2] <= totals[0]);
     check(
         "after-support <= after-inputs (better sharing)",
         totals[2] <= totals[1],
@@ -99,12 +95,9 @@ fn main() {
         "optimized decision graph <= two-level jump",
         totals[2] <= totals[3],
     );
-    check(
-        "timing approximately unchanged across orderings (<=15%)",
-        {
-            let mx = max_spread[..3].iter().max().copied().unwrap_or(0) as f64;
-            let mn = max_spread[..3].iter().min().copied().unwrap_or(0) as f64;
-            (mx - mn) / mx.max(1.0) <= 0.15
-        },
-    );
+    check("timing approximately unchanged across orderings (<=15%)", {
+        let mx = max_spread[..3].iter().max().copied().unwrap_or(0) as f64;
+        let mn = max_spread[..3].iter().min().copied().unwrap_or(0) as f64;
+        (mx - mn) / mx.max(1.0) <= 0.15
+    });
 }

@@ -36,7 +36,10 @@ fn main() {
         ..RtosConfig::default()
     };
 
-    println!("Table III: POLIS vs ESTEREL vs ESTEREL_OPT (dashboard, Risc32, {} stimuli)\n", stim.len());
+    println!(
+        "Table III: POLIS vs ESTEREL vs ESTEREL_OPT (dashboard, Risc32, {} stimuli)\n",
+        stim.len()
+    );
     println!(
         "| {:<12} | {:>12} | {:>9} | {:>12} |",
         "row", "busy cycles", "size[B]", "synthesis"
@@ -94,9 +97,8 @@ fn main() {
     );
 
     println!("\nshape checks:");
-    let check = |label: &str, ok: bool| {
-        println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" })
-    };
+    let check =
+        |label: &str, ok: bool| println!("  {label}: {}", if ok { "HOLDS" } else { "VIOLATED" });
     check(
         "single FSM reacts in fewer cycles than the scheduled network",
         esterel_cycles < polis_cycles,

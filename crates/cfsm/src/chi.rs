@@ -214,8 +214,7 @@ impl ReactiveFn {
         };
 
         let mut conds: Vec<NodeRef> = Vec::with_capacity(cfsm.num_transitions());
-        let mut taken_per_state: Vec<NodeRef> =
-            vec![NodeRef::FALSE; cfsm.states().len()];
+        let mut taken_per_state: Vec<NodeRef> = vec![NodeRef::FALSE; cfsm.states().len()];
         for t in cfsm.transitions() {
             let in_state = match &ctrl {
                 Some(mv) => mv.eq_const(&mut rf.bdd, t.from as u64),
@@ -346,16 +345,21 @@ impl ReactiveFn {
         let mut out = Vec::with_capacity(self.outputs.len());
         for oi in 0..self.outputs.len() {
             let own: Vec<polis_bdd::Var> = self.outputs[oi].bits.clone();
-            let others = all_output_bits
-                .iter()
-                .copied()
-                .filter(|b| !own.contains(b));
+            let others = all_output_bits.iter().copied().filter(|b| !own.contains(b));
             let h = self.bdd.exists_all(self.chi, others);
             let sup: Vec<polis_bdd::Var> = self
                 .bdd
                 .support(h)
                 .into_iter()
-                .filter(|v| matches!(self.loc.get(v), Some(VarLoc { side: Side::Input, .. })))
+                .filter(|v| {
+                    matches!(
+                        self.loc.get(v),
+                        Some(VarLoc {
+                            side: Side::Input,
+                            ..
+                        })
+                    )
+                })
                 .collect();
             out.push(sup);
         }
@@ -480,8 +484,14 @@ mod tests {
         b.output_pure("off");
         let s_off = b.ctrl_state("off");
         let s_on = b.ctrl_state("on");
-        b.transition(s_off, s_on).when_present("tick").emit("on").done();
-        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.transition(s_off, s_on)
+            .when_present("tick")
+            .emit("on")
+            .done();
+        b.transition(s_on, s_off)
+            .when_present("tick")
+            .emit("off")
+            .done();
         b.build().unwrap()
     }
 

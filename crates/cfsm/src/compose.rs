@@ -51,10 +51,9 @@ impl std::fmt::Display for ComposeError {
         match self {
             ComposeError::Network(e) => write!(f, "composition: {e}"),
             ComposeError::Machine(e) => write!(f, "composition produced invalid machine: {e}"),
-            ComposeError::TooLarge { generated } => write!(
-                f,
-                "product machine too large (> {generated} transitions)"
-            ),
+            ComposeError::TooLarge { generated } => {
+                write!(f, "product machine too large (> {generated} transitions)")
+            }
         }
     }
 }
@@ -110,9 +109,7 @@ pub fn compose(net: &Network) -> Result<Cfsm, ComposeError> {
 
 /// Like [`compose`] with an explicit name for the product machine.
 pub fn compose_named(net: &Network, name: &str) -> Result<Cfsm, ComposeError> {
-    let topo = net
-        .topo_order()
-        .ok_or(NetworkError::CyclicCommunication)?;
+    let topo = net.topo_order().ok_or(NetworkError::CyclicCommunication)?;
     let machines = net.cfsms();
     let internal: Vec<String> = net.internal_signals();
     let is_internal = |sig: &str| internal.iter().any(|s| s == sig);
@@ -249,7 +246,10 @@ pub fn compose_named(net: &Network, name: &str) -> Result<Cfsm, ComposeError> {
             .when(guard);
         for a in pt.actions {
             tb = match a {
-                PAction::Emit { signal, value: None } => tb.emit(&signal),
+                PAction::Emit {
+                    signal,
+                    value: None,
+                } => tb.emit(&signal),
                 PAction::Emit {
                     signal,
                     value: Some(e),
@@ -327,11 +327,7 @@ fn enumerate(ctx: &mut ComboCtx<'_>, pos: usize, combo: Combo) {
     let mi = ctx.topo[pos];
     let m = &ctx.net.cfsms()[mi];
     let state = ctx.tuple[mi];
-    let from_here: Vec<&Transition> = m
-        .transitions()
-        .iter()
-        .filter(|t| t.from == state)
-        .collect();
+    let from_here: Vec<&Transition> = m.transitions().iter().filter(|t| t.from == state).collect();
 
     // Option: take transition k (earlier ones must not match).
     for (k, t) in from_here.iter().enumerate() {
@@ -354,9 +350,9 @@ fn enumerate(ctx: &mut ComboCtx<'_>, pos: usize, combo: Combo) {
             match &m.actions()[ai] {
                 Action::Emit { signal, value } => {
                     let sig = m.outputs()[*signal].name().to_owned();
-                    let val = value.as_ref().map(|e| {
-                        substitute_internal_values(ctx, m, &(ctx.rename)(m, e), &combo)
-                    });
+                    let val = value
+                        .as_ref()
+                        .map(|e| substitute_internal_values(ctx, m, &(ctx.rename)(m, e), &combo));
                     c.actions.push(PAction::Emit {
                         signal: sig.clone(),
                         value: val.clone(),
@@ -438,9 +434,7 @@ fn translate_guard(ctx: &mut ComboCtx<'_>, m: &Cfsm, g: &Guard, combo: &Combo) -
         Guard::And(a, b) => {
             translate_guard(ctx, m, a, combo).and(translate_guard(ctx, m, b, combo))
         }
-        Guard::Or(a, b) => {
-            translate_guard(ctx, m, a, combo).or(translate_guard(ctx, m, b, combo))
-        }
+        Guard::Or(a, b) => translate_guard(ctx, m, a, combo).or(translate_guard(ctx, m, b, combo)),
     }
 }
 
@@ -449,12 +443,7 @@ fn translate_guard(ctx: &mut ComboCtx<'_>, m: &Cfsm, g: &Guard, combo: &Combo) -
 /// (sampled from an earlier tick). Same-tick values are wrapped in an
 /// explicit modular coercion, because a real emission clamps the value to
 /// the signal's type before the receiver sees it.
-fn substitute_internal_values(
-    ctx: &ComboCtx<'_>,
-    m: &Cfsm,
-    e: &Expr,
-    combo: &Combo,
-) -> Expr {
+fn substitute_internal_values(ctx: &ComboCtx<'_>, m: &Cfsm, e: &Expr, combo: &Combo) -> Expr {
     let mut out = e.clone();
     for s in m.inputs() {
         if !s.is_valued() {
@@ -485,8 +474,7 @@ fn coerce_expr(e: Expr, ty: polis_expr::Type) -> Expr {
         polis_expr::Type::Bool => e,
         polis_expr::Type::Int { bits, signed } => {
             let d = 1i64 << bits;
-            let positive_mod =
-                |x: Expr| x.rem(Expr::int(d)).add(Expr::int(d)).rem(Expr::int(d));
+            let positive_mod = |x: Expr| x.rem(Expr::int(d)).add(Expr::int(d)).rem(Expr::int(d));
             if signed {
                 let h = d / 2;
                 positive_mod(e.add(Expr::int(h))).sub(Expr::int(h))
@@ -575,11 +563,8 @@ mod tests {
 
     #[test]
     fn pipeline_composes_to_single_machine() {
-        let net = Network::new(
-            "pipe",
-            vec![relay("a", "in", "m"), relay("b", "m", "out")],
-        )
-        .unwrap();
+        let net =
+            Network::new("pipe", vec![relay("a", "in", "m"), relay("b", "m", "out")]).unwrap();
         let p = compose(&net).unwrap();
         assert_eq!(p.states().len(), 1);
         // The product reacts to `in` by emitting both `m` and `out` in one
@@ -633,8 +618,7 @@ mod tests {
             let want = sync_tick_reference(&net, &present, &vals, &mut ref_states);
             let r = p.react(&present, &vals, &p_state).unwrap();
             p_state = r.next;
-            let mut got: Vec<String> =
-                r.emissions.iter().map(|e| e.signal.clone()).collect();
+            let mut got: Vec<String> = r.emissions.iter().map(|e| e.signal.clone()).collect();
             got.sort();
             assert_eq!(got, want, "x={x}");
         }
@@ -711,11 +695,7 @@ mod tests {
 
     #[test]
     fn cyclic_network_is_rejected() {
-        let net = Network::new(
-            "cyc",
-            vec![relay("a", "x", "y"), relay("b", "y", "x")],
-        )
-        .unwrap();
+        let net = Network::new("cyc", vec![relay("a", "x", "y"), relay("b", "y", "x")]).unwrap();
         assert!(matches!(
             compose(&net),
             Err(ComposeError::Network(NetworkError::CyclicCommunication))

@@ -64,7 +64,7 @@ mod signal;
 
 pub use chi::{OrderScheme, ReactiveFn, RfVar, RfVarKind, Side, VarLoc};
 pub use machine::{
-    Action, Cfsm, CfsmBuilder, CfsmError, CfsmState, Emission, Guard, Reaction, ReactError,
+    Action, Cfsm, CfsmBuilder, CfsmError, CfsmState, Emission, Guard, ReactError, Reaction,
     StateId, StateVar, TestDef, TestId, Transition, TransitionBuilder,
 };
 pub use network::{Network, NetworkError};

@@ -271,7 +271,10 @@ impl Cfsm {
     /// generated-code comments).
     pub fn action_label(&self, a: usize) -> String {
         match &self.actions[a] {
-            Action::Emit { signal, value: None } => {
+            Action::Emit {
+                signal,
+                value: None,
+            } => {
                 format!("emit_{}", self.outputs[*signal].name())
             }
             Action::Emit {
@@ -877,7 +880,9 @@ impl TransitionBuilder<'_> {
             .cfsm
             .state_var_index(var)
             .unwrap_or_else(|| panic!("unknown state variable `{var}`"));
-        let a = self.builder.intern_action(Action::Assign { var: vi, value });
+        let a = self
+            .builder
+            .intern_action(Action::Assign { var: vi, value });
         self.actions.push(a);
         self
     }
@@ -957,9 +962,7 @@ mod tests {
     fn no_input_means_no_firing_and_state_preserved() {
         let m = simple();
         let st = m.initial_state();
-        let r = m
-            .react(&present(&[]), &values(&[("c", 3)]), &st)
-            .unwrap();
+        let r = m.react(&present(&[]), &values(&[("c", 3)]), &st).unwrap();
         assert!(!r.fired);
         assert_eq!(r.transition, None);
         assert_eq!(r.next, st);
@@ -1054,9 +1057,7 @@ mod tests {
         let st = m.initial_state();
         let r = m.react(&present(&["a"]), &MapEnv::new(), &st).unwrap();
         assert!(r.fired);
-        let r = m
-            .react(&present(&["a", "b"]), &MapEnv::new(), &st)
-            .unwrap();
+        let r = m.react(&present(&["a", "b"]), &MapEnv::new(), &st).unwrap();
         assert!(!r.fired);
     }
 

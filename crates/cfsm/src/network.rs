@@ -278,7 +278,11 @@ mod tests {
     fn chain_topology() {
         let net = Network::new(
             "chain",
-            vec![relay("a", "in", "m1"), relay("b", "m1", "m2"), relay("c", "m2", "out")],
+            vec![
+                relay("a", "in", "m1"),
+                relay("b", "m1", "m2"),
+                relay("c", "m2", "out"),
+            ],
         )
         .unwrap();
         assert_eq!(net.primary_inputs(), vec!["in".to_string()]);
@@ -301,11 +305,7 @@ mod tests {
 
     #[test]
     fn cycle_detected() {
-        let net = Network::new(
-            "cycle",
-            vec![relay("a", "x", "y"), relay("b", "y", "x")],
-        )
-        .unwrap();
+        let net = Network::new("cycle", vec![relay("a", "x", "y"), relay("b", "y", "x")]).unwrap();
         assert_eq!(net.topo_order(), None);
     }
 
@@ -327,21 +327,15 @@ mod tests {
 
     #[test]
     fn duplicate_machine_rejected() {
-        let err = Network::new(
-            "dup",
-            vec![relay("a", "x", "y"), relay("a", "p", "q")],
-        )
-        .unwrap_err();
+        let err =
+            Network::new("dup", vec![relay("a", "x", "y"), relay("a", "p", "q")]).unwrap_err();
         assert!(matches!(err, NetworkError::DuplicateMachine { .. }));
     }
 
     #[test]
     fn multiple_drivers_rejected() {
-        let err = Network::new(
-            "multi",
-            vec![relay("a", "x", "z"), relay("b", "y", "z")],
-        )
-        .unwrap_err();
+        let err =
+            Network::new("multi", vec![relay("a", "x", "z"), relay("b", "y", "z")]).unwrap_err();
         assert!(matches!(err, NetworkError::MultipleDrivers { .. }));
     }
 

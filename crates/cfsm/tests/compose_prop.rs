@@ -1,10 +1,10 @@
-//! Property test: the synchronous product of a random acyclic pipeline is
-//! observationally equivalent to the tick-by-tick synchronous execution of
-//! the original network.
+//! Property-style test: the synchronous product of a random acyclic
+//! pipeline is observationally equivalent to the tick-by-tick synchronous
+//! execution of the original network. Deterministically seeded, offline.
 
-use polis_cfsm::{compose, value_var_name, CfsmState, Cfsm, Network};
+use polis_cfsm::{compose, value_var_name, Cfsm, CfsmState, Network};
+use polis_core::random::Rng;
 use polis_expr::{Expr, MapEnv, Type, Value};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 /// A two-stage pipeline with randomized guards/actions per stage.
@@ -16,15 +16,13 @@ struct PipeSpec {
     stage2_needs_ext: bool,
 }
 
-fn arb_spec() -> impl Strategy<Value = PipeSpec> {
-    (1..=2usize, any::<bool>(), 0..16i64, any::<bool>()).prop_map(
-        |(stage1_states, stage1_bump, stage2_threshold, stage2_needs_ext)| PipeSpec {
-            stage1_states,
-            stage1_bump,
-            stage2_threshold,
-            stage2_needs_ext,
-        },
-    )
+fn gen_spec(rng: &mut Rng) -> PipeSpec {
+    PipeSpec {
+        stage1_states: rng.usize(1..3),
+        stage1_bump: rng.bool(),
+        stage2_threshold: rng.i64(0..16),
+        stage2_needs_ext: rng.bool(),
+    }
 }
 
 fn instantiate(spec: &PipeSpec) -> Network {
@@ -99,15 +97,11 @@ fn sync_tick(
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn product_equals_synchronous_reference(
-        spec in arb_spec(),
-        stim in proptest::collection::vec(
-            (any::<bool>(), any::<bool>(), any::<bool>(), 0..16i64), 1..10),
-    ) {
+#[test]
+fn product_equals_synchronous_reference() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0xc0_0b05e ^ case);
+        let spec = gen_spec(&mut rng);
         let net = instantiate(&spec);
         let product = compose::compose(&net).expect("composes");
 
@@ -115,7 +109,8 @@ proptest! {
             net.cfsms().iter().map(|m| m.initial_state()).collect();
         let mut p_state = product.initial_state();
 
-        for (tick, raw, en, rawv) in stim {
+        for _ in 0..rng.usize(1..10) {
+            let (tick, raw, en, rawv) = (rng.bool(), rng.bool(), rng.bool(), rng.i64(0..16));
             let mut present = BTreeSet::new();
             if tick {
                 present.insert("tick".to_string());
@@ -138,16 +133,20 @@ proptest! {
                 .map(|e| (e.signal.clone(), e.value.map(|v| v.as_int().unwrap())))
                 .collect();
             got.sort();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case={case}");
         }
     }
+}
 
-    #[test]
-    fn product_state_count_bounded_by_tuple_product(spec in arb_spec()) {
+#[test]
+fn product_state_count_bounded_by_tuple_product() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0xface ^ case);
+        let spec = gen_spec(&mut rng);
         let net = instantiate(&spec);
         let product = compose::compose(&net).expect("composes");
         let bound: usize = net.cfsms().iter().map(|m| m.states().len()).product();
-        prop_assert!(product.states().len() <= bound);
-        prop_assert!(!product.states().is_empty());
+        assert!(product.states().len() <= bound, "case={case}");
+        assert!(!product.states().is_empty(), "case={case}");
     }
 }

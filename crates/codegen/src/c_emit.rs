@@ -3,7 +3,7 @@
 use polis_cfsm::{value_var_name, Action, Cfsm, Network};
 use polis_expr::{CStyle, Expr};
 use polis_sgraph::{
-    analysis, AssignLabel, BufferPolicy, Cond, ComputedTarget, NodeId, SGraph, SNode, TestLabel,
+    analysis, AssignLabel, BufferPolicy, ComputedTarget, Cond, NodeId, SGraph, SNode, TestLabel,
 };
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -37,6 +37,28 @@ impl Default for CodegenOptions {
             buffering: BufferPolicy::All,
             source_comments: false,
         }
+    }
+}
+
+/// Size measures of an emitted C translation unit, recorded into the
+/// synthesis trace by the pipeline's emit stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EmitStats {
+    /// Total source lines (including blanks and comments).
+    pub lines: u64,
+    /// Source bytes.
+    pub bytes: u64,
+    /// `goto` statements — one per shared s-graph edge in the paper's
+    /// goto style, a rough proxy for sharing in the decision graph.
+    pub gotos: u64,
+}
+
+/// Measures an emitted C source string.
+pub fn measure_c(src: &str) -> EmitStats {
+    EmitStats {
+        lines: src.lines().count() as u64,
+        bytes: src.len() as u64,
+        gotos: src.matches("goto ").count() as u64,
     }
 }
 
@@ -108,7 +130,11 @@ pub fn emit_c(cfsm: &Cfsm, g: &SGraph, opts: &CodegenOptions) -> String {
 /// RTOS macros and signal identifiers.
 pub fn emit_network_header(net: &Network) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "/* polis_rtos.h -- generated for network `{}` */", net.name());
+    let _ = writeln!(
+        out,
+        "/* polis_rtos.h -- generated for network `{}` */",
+        net.name()
+    );
     let _ = writeln!(out, "#ifndef POLIS_RTOS_H\n#define POLIS_RTOS_H\n");
     let mut signals: BTreeSet<String> = BTreeSet::new();
     for m in net.cfsms() {
@@ -236,27 +262,19 @@ impl CEmitter<'_> {
                     }
                     TestLabel::Compound { cond } => {
                         let c = self.cond(cond);
-                        let _ =
-                            writeln!(self.out, "    if ({c}) goto L{};", children[1].index());
+                        let _ = writeln!(self.out, "    if ({c}) goto L{};", children[1].index());
                     }
                     TestLabel::CtrlSwitch { .. } => {
                         if children.len() >= self.opts.switch_threshold {
                             let _ = writeln!(self.out, "    switch (ctrl) {{");
                             for (v, c) in children.iter().enumerate() {
-                                let _ = writeln!(
-                                    self.out,
-                                    "    case {v}: goto L{};",
-                                    c.index()
-                                );
+                                let _ = writeln!(self.out, "    case {v}: goto L{};", c.index());
                             }
                             let _ = writeln!(self.out, "    }}");
                         } else {
                             for (v, c) in children.iter().enumerate().skip(1) {
-                                let _ = writeln!(
-                                    self.out,
-                                    "    if (ctrl == {v}) goto L{};",
-                                    c.index()
-                                );
+                                let _ =
+                                    writeln!(self.out, "    if (ctrl == {v}) goto L{};", c.index());
                             }
                         }
                         // Default arm falls through to child 0.
@@ -412,8 +430,14 @@ mod tests {
         b.output_pure("off");
         let s_off = b.ctrl_state("off");
         let s_on = b.ctrl_state("on");
-        b.transition(s_off, s_on).when_present("tick").emit("on").done();
-        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.transition(s_off, s_on)
+            .when_present("tick")
+            .emit("on")
+            .done();
+        b.transition(s_on, s_off)
+            .when_present("tick")
+            .emit("off")
+            .done();
         b.build().unwrap()
     }
 
@@ -551,10 +575,7 @@ mod tests {
         for line in c.lines() {
             if let Some(pos) = line.find("goto ") {
                 let target = line[pos + 5..].trim_end_matches(';').trim();
-                assert!(
-                    labels.contains(target),
-                    "goto {target} has no label:\n{c}"
-                );
+                assert!(labels.contains(target), "goto {target} has no label:\n{c}");
             }
         }
     }

@@ -38,5 +38,5 @@
 mod c_emit;
 mod two_level;
 
-pub use c_emit::{emit_c, emit_network_header, CodegenOptions};
+pub use c_emit::{emit_c, emit_network_header, measure_c, CodegenOptions, EmitStats};
 pub use two_level::two_level_sgraph;

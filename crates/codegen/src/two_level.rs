@@ -202,8 +202,14 @@ mod tests {
         b.output_pure("off");
         let s_off = b.ctrl_state("off");
         let s_on = b.ctrl_state("on");
-        b.transition(s_off, s_on).when_present("tick").emit("on").done();
-        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.transition(s_off, s_on)
+            .when_present("tick")
+            .emit("on")
+            .done();
+        b.transition(s_on, s_off)
+            .when_present("tick")
+            .emit("off")
+            .done();
         b.build().unwrap()
     }
 
@@ -214,7 +220,13 @@ mod tests {
             let mut st = m.initial_state();
             // Exhaust the input alphabet for a few steps.
             for step in 0..6 {
-                for sigs in [vec![], m.inputs().iter().map(|s| s.name().to_owned()).collect::<Vec<_>>()] {
+                for sigs in [
+                    vec![],
+                    m.inputs()
+                        .iter()
+                        .map(|s| s.name().to_owned())
+                        .collect::<Vec<_>>(),
+                ] {
                     let p: BTreeSet<String> = sigs.iter().cloned().collect();
                     let vals = if m.name() == "simple" {
                         input_values(&[("c", (step % 4) as i64)])

@@ -32,19 +32,20 @@
 //! assert_eq!(opts.style, ImplStyle::DecisionGraph);
 //! ```
 
+pub mod pipeline;
 pub mod random;
+pub mod trace;
 pub mod workloads;
 
-use polis_cfsm::{Cfsm, Network, OrderScheme, ReactiveFn};
-use polis_codegen::{emit_c, two_level_sgraph, CodegenOptions};
-use polis_estimate::{
-    calibrate, derive_incompatibilities, estimate, max_cycles_false_path_aware, CostParams,
-    Estimate,
-};
-use polis_rtos::{emit_rtos_c, RtosConfig};
-use polis_sgraph::{build, collapse, ite_chain, BufferPolicy, CollapseOptions, SGraph};
-use polis_vm::{analyze, assemble, compile, ObjectCode, Profile, VmProgram};
-use std::time::{Duration, Instant};
+pub use pipeline::{synthesize_cfsm, synthesize_network_staged, Stage, SynthCtx, SynthError};
+pub use trace::{MetricValue, StageRecord, SynthTrace};
+
+use polis_cfsm::{Cfsm, Network, OrderScheme};
+use polis_estimate::{calibrate, CostParams, Estimate};
+use polis_rtos::RtosConfig;
+use polis_sgraph::{BufferPolicy, SGraph};
+use polis_vm::{ObjectCode, Profile, VmProgram};
+use std::time::Duration;
 
 /// Which implementation style to synthesize (the rows of Tables II/III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,63 +132,23 @@ pub fn synthesize(cfsm: &Cfsm, opts: &SynthesisOptions) -> CfsmSynthesis {
 }
 
 /// Like [`synthesize`] with pre-calibrated cost parameters (avoids
-/// re-probing the target per machine).
+/// re-probing the target per machine). A thin wrapper over the staged
+/// pipeline ([`pipeline::synthesize_cfsm`]) that discards the trace.
 pub fn synthesize_with_params(
     cfsm: &Cfsm,
     opts: &SynthesisOptions,
     params: &CostParams,
 ) -> CfsmSynthesis {
-    let start = Instant::now();
-    let graph = match opts.style {
-        ImplStyle::DecisionGraph => {
-            let mut rf = ReactiveFn::build(cfsm);
-            rf.sift_with_passes(opts.scheme, opts.sift_passes);
-            let g = build(&rf).expect("validated CFSMs synthesize");
-            if opts.collapse {
-                collapse(&g, CollapseOptions::default())
-            } else {
-                g
-            }
-        }
-        ImplStyle::IteChain => {
-            let mut rf = ReactiveFn::build(cfsm);
-            ite_chain(&mut rf)
-        }
-        ImplStyle::TwoLevel => two_level_sgraph(cfsm),
-    };
-    let program = compile(cfsm, &graph, opts.buffering);
-    let object = assemble(&program, opts.profile);
-    let synthesis_time = start.elapsed();
+    let mut ctx = SynthCtx::new(opts, params);
+    pipeline::synthesize_cfsm(&mut ctx, cfsm).expect("validated CFSMs synthesize")
+}
 
-    let c_code = emit_c(
-        cfsm,
-        &graph,
-        &CodegenOptions {
-            buffering: opts.buffering,
-            ..CodegenOptions::default()
-        },
-    );
-    let est = estimate(cfsm, &graph, params, opts.buffering);
-    let incompats = derive_incompatibilities(cfsm);
-    let max_cycles_false_path_aware = (!incompats.is_empty())
-        .then(|| max_cycles_false_path_aware(cfsm, &graph, params, &incompats));
-    let bounds = analyze(&program, &object);
-    let measured = Measured {
-        size_bytes: u64::from(object.size_bytes()),
-        min_cycles: bounds.min_cycles,
-        max_cycles: bounds.max_cycles,
-        ram_bytes: u64::from(program.ram_bytes()),
-    };
-    CfsmSynthesis {
-        graph,
-        c_code,
-        program,
-        object,
-        estimate: est,
-        max_cycles_false_path_aware,
-        measured,
-        synthesis_time,
-    }
+/// Like [`synthesize`], additionally returning the per-stage trace.
+pub fn synthesize_traced(cfsm: &Cfsm, opts: &SynthesisOptions) -> (CfsmSynthesis, SynthTrace) {
+    let params = calibrate(opts.profile);
+    let mut ctx = SynthCtx::new(opts, &params);
+    let r = pipeline::synthesize_cfsm(&mut ctx, cfsm).expect("validated CFSMs synthesize");
+    (r, ctx.into_trace())
 }
 
 /// The pipeline applied to a whole network, plus the generated RTOS.
@@ -208,35 +169,20 @@ pub struct NetworkSynthesis {
 /// Fixed ROM/RAM allowance for the generated RTOS core (scheduler loop,
 /// emission service, ISR stubs); the generated RTOS is small because the
 /// communication structure is fixed (Section IV-E).
-const RTOS_ROM_BYTES: u64 = 512;
-const RTOS_RAM_PER_TASK: u64 = 12;
+pub(crate) const RTOS_ROM_BYTES: u64 = 512;
+pub(crate) const RTOS_RAM_PER_TASK: u64 = 12;
 
 /// Runs the pipeline over every machine of `net` and generates the RTOS.
+/// Sequential; see [`synthesize_network_staged`] for the `--jobs N`
+/// parallel variant with a trace.
 pub fn synthesize_network(
     net: &Network,
     opts: &SynthesisOptions,
     rtos: &RtosConfig,
 ) -> NetworkSynthesis {
-    let params = calibrate(opts.profile);
-    let start = Instant::now();
-    let machines: Vec<CfsmSynthesis> = net
-        .cfsms()
-        .iter()
-        .map(|m| synthesize_with_params(m, opts, &params))
-        .collect();
-    let synthesis_time = start.elapsed();
-    let rtos_c = emit_rtos_c(net, rtos);
-    let total_rom =
-        machines.iter().map(|m| m.measured.size_bytes).sum::<u64>() + RTOS_ROM_BYTES;
-    let total_ram = machines.iter().map(|m| m.measured.ram_bytes).sum::<u64>()
-        + RTOS_RAM_PER_TASK * net.cfsms().len() as u64;
-    NetworkSynthesis {
-        machines,
-        rtos_c,
-        total_rom,
-        total_ram,
-        synthesis_time,
-    }
+    synthesize_network_staged(net, opts, rtos, 1)
+        .expect("validated CFSMs synthesize")
+        .0
 }
 
 #[cfg(test)]

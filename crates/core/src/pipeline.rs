@@ -1,0 +1,484 @@
+//! The synthesis pipeline as explicit, uniformly instrumented stages.
+//!
+//! Each step of the five-step procedure (χ/BDD construction, constrained
+//! sifting, s-graph build, TEST collapsing, instruction selection +
+//! assembly, C emission, cost estimation, exact measurement, RTOS
+//! generation) is a [`Stage`]: a named function from an input to an
+//! output, run through a [`SynthCtx`] that records wall time and the
+//! owning layer's native counters into a [`SynthTrace`].
+//!
+//! [`synthesize_cfsm`] chains the per-machine stages for the selected
+//! [`ImplStyle`]; [`synthesize_network_staged`] fans the per-machine
+//! pipeline out across `jobs` scoped worker threads — each worker owns
+//! its own BDD manager (one per [`ReactiveFn`]), and results are merged
+//! in network (input) order, so parallel output is byte-identical to the
+//! sequential run.
+
+use crate::trace::{MetricValue, StageRecord, SynthTrace};
+use crate::{
+    CfsmSynthesis, ImplStyle, Measured, NetworkSynthesis, SynthesisOptions, RTOS_RAM_PER_TASK,
+    RTOS_ROM_BYTES,
+};
+use polis_cfsm::{Cfsm, Network, ReactiveFn};
+use polis_codegen::{emit_c, measure_c, two_level_sgraph, CodegenOptions};
+use polis_estimate::{
+    calibrate, derive_incompatibilities, estimate, max_cycles_false_path_aware, CostParams,
+    Estimate,
+};
+use polis_rtos::{emit_rtos_c, RtosConfig};
+use polis_sgraph::{build, collapse, ite_chain, BuildError, CollapseOptions, SGraph};
+use polis_vm::{analyze, assemble, compile, ObjectCode, VmProgram};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A failure inside the staged pipeline.
+#[derive(Debug)]
+pub enum SynthError {
+    /// The s-graph builder rejected the reactive function.
+    SgraphBuild(BuildError),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::SgraphBuild(e) => write!(f, "s-graph build failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// One named pipeline stage: a pure function from `I` to `O` that reports
+/// counters through the context it runs under.
+#[derive(Clone, Copy)]
+pub struct Stage<I, O> {
+    /// Stage name as it appears in the trace.
+    pub name: &'static str,
+    /// The stage body. Counters reported via [`SynthCtx::count`] /
+    /// [`SynthCtx::ratio`] during the call are attributed to this stage.
+    pub run: fn(&mut SynthCtx<'_>, I) -> Result<O, SynthError>,
+}
+
+/// Per-run synthesis context: configuration plus the growing trace.
+///
+/// One `SynthCtx` is threaded through every stage of one machine's
+/// synthesis (and one more through the network-level stages). Under
+/// `--jobs N` each worker thread owns its own context; traces are merged
+/// in network order afterwards.
+pub struct SynthCtx<'a> {
+    /// Pipeline configuration.
+    pub opts: &'a SynthesisOptions,
+    /// Pre-calibrated target cost parameters.
+    pub params: &'a CostParams,
+    machine: Option<String>,
+    trace: SynthTrace,
+    open: Vec<(String, MetricValue)>,
+}
+
+impl<'a> SynthCtx<'a> {
+    /// Creates a context with an empty trace.
+    pub fn new(opts: &'a SynthesisOptions, params: &'a CostParams) -> SynthCtx<'a> {
+        SynthCtx {
+            opts,
+            params,
+            machine: None,
+            trace: SynthTrace::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Attributes subsequent stage records to `name` (a CFSM), or to the
+    /// network level when `None`.
+    pub fn set_machine(&mut self, name: Option<&str>) {
+        self.machine = name.map(str::to_owned);
+    }
+
+    /// Reports an integral counter for the stage currently running.
+    pub fn count(&mut self, name: &str, value: u64) {
+        self.open.push((name.to_owned(), MetricValue::Int(value)));
+    }
+
+    /// Reports a ratio/rate counter for the stage currently running.
+    pub fn ratio(&mut self, name: &str, value: f64) {
+        self.open.push((name.to_owned(), MetricValue::Float(value)));
+    }
+
+    /// Runs one stage: times it, collects its counters, appends the
+    /// record, and returns the stage output.
+    pub fn run_stage<I, O>(&mut self, stage: Stage<I, O>, input: I) -> Result<O, SynthError> {
+        let start = Instant::now();
+        let out = (stage.run)(self, input);
+        let wall = start.elapsed();
+        let counters = std::mem::take(&mut self.open);
+        self.trace.push(StageRecord {
+            stage: stage.name,
+            machine: self.machine.clone(),
+            wall,
+            counters,
+        });
+        out
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &SynthTrace {
+        &self.trace
+    }
+
+    /// Consumes the context, yielding its trace.
+    pub fn into_trace(self) -> SynthTrace {
+        self.trace
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-CFSM stages.
+// ---------------------------------------------------------------------
+
+fn stage_chi(ctx: &mut SynthCtx<'_>, cfsm: &Cfsm) -> Result<ReactiveFn, SynthError> {
+    let rf = ReactiveFn::build(cfsm);
+    let st = rf.bdd().stats();
+    ctx.count("bdd_nodes", rf.size() as u64);
+    ctx.count("mk_calls", st.mk_calls);
+    ctx.count("unique_entries", st.unique_entries);
+    ctx.count("cache_lookups", st.cache_lookups);
+    ctx.count("cache_hits", st.cache_hits);
+    ctx.ratio("cache_hit_rate", st.hit_rate());
+    Ok(rf)
+}
+
+fn stage_sift(ctx: &mut SynthCtx<'_>, mut rf: ReactiveFn) -> Result<ReactiveFn, SynthError> {
+    let nodes_before = rf.size() as u64;
+    let swaps_before = rf.bdd().stats().swap_count;
+    rf.sift_with_passes(ctx.opts.scheme, ctx.opts.sift_passes);
+    let st = rf.bdd().stats();
+    ctx.count("bdd_nodes_before", nodes_before);
+    ctx.count("bdd_nodes_after", rf.size() as u64);
+    ctx.count("swaps", st.swap_count - swaps_before);
+    ctx.count("cache_lookups", st.cache_lookups);
+    ctx.ratio("cache_hit_rate", st.hit_rate());
+    Ok(rf)
+}
+
+fn record_sgraph(ctx: &mut SynthCtx<'_>, g: &SGraph) {
+    let st = g.stats();
+    ctx.count("nodes", st.nodes as u64);
+    ctx.count("reachable", st.reachable as u64);
+    ctx.count("tests", st.tests as u64);
+    ctx.count("assigns", st.assigns as u64);
+    ctx.count("depth", st.depth as u64);
+}
+
+fn stage_sgraph(ctx: &mut SynthCtx<'_>, rf: ReactiveFn) -> Result<SGraph, SynthError> {
+    let g = build(&rf).map_err(SynthError::SgraphBuild)?;
+    record_sgraph(ctx, &g);
+    Ok(g)
+}
+
+fn stage_ite_chain(ctx: &mut SynthCtx<'_>, mut rf: ReactiveFn) -> Result<SGraph, SynthError> {
+    let g = ite_chain(&mut rf);
+    record_sgraph(ctx, &g);
+    Ok(g)
+}
+
+fn stage_two_level(ctx: &mut SynthCtx<'_>, cfsm: &Cfsm) -> Result<SGraph, SynthError> {
+    let g = two_level_sgraph(cfsm);
+    record_sgraph(ctx, &g);
+    Ok(g)
+}
+
+fn stage_collapse(ctx: &mut SynthCtx<'_>, g: SGraph) -> Result<SGraph, SynthError> {
+    let before = g.stats();
+    let c = collapse(&g, CollapseOptions::default());
+    let after = c.stats();
+    ctx.count("nodes_before", before.reachable as u64);
+    ctx.count("nodes_after", after.reachable as u64);
+    ctx.count("tests_before", before.tests as u64);
+    ctx.count("tests_after", after.tests as u64);
+    Ok(c)
+}
+
+#[allow(clippy::type_complexity)]
+fn stage_compile(
+    ctx: &mut SynthCtx<'_>,
+    (cfsm, graph): (&Cfsm, &SGraph),
+) -> Result<(VmProgram, ObjectCode), SynthError> {
+    let program = compile(cfsm, graph, ctx.opts.buffering);
+    let object = assemble(&program, ctx.opts.profile);
+    ctx.count("code_bytes", u64::from(object.size_bytes()));
+    ctx.count("ram_bytes", u64::from(program.ram_bytes()));
+    Ok((program, object))
+}
+
+fn stage_emit(
+    ctx: &mut SynthCtx<'_>,
+    (cfsm, graph): (&Cfsm, &SGraph),
+) -> Result<String, SynthError> {
+    let c_code = emit_c(
+        cfsm,
+        graph,
+        &CodegenOptions {
+            buffering: ctx.opts.buffering,
+            ..CodegenOptions::default()
+        },
+    );
+    let st = measure_c(&c_code);
+    ctx.count("lines", st.lines);
+    ctx.count("bytes", st.bytes);
+    ctx.count("gotos", st.gotos);
+    Ok(c_code)
+}
+
+#[allow(clippy::type_complexity)]
+fn stage_estimate(
+    ctx: &mut SynthCtx<'_>,
+    (cfsm, graph): (&Cfsm, &SGraph),
+) -> Result<(Estimate, Option<u64>), SynthError> {
+    let est = estimate(cfsm, graph, ctx.params, ctx.opts.buffering);
+    let incompats = derive_incompatibilities(cfsm);
+    let false_path_aware = (!incompats.is_empty())
+        .then(|| max_cycles_false_path_aware(cfsm, graph, ctx.params, &incompats));
+    ctx.count("est_size_bytes", est.size_bytes);
+    ctx.count("est_min_cycles", est.min_cycles);
+    ctx.count("est_max_cycles", est.max_cycles);
+    ctx.count("est_ram_bytes", est.ram_bytes);
+    ctx.count("incompatibilities", incompats.len() as u64);
+    if let Some(fp) = false_path_aware {
+        ctx.count("est_max_cycles_false_path_aware", fp);
+    }
+    Ok((est, false_path_aware))
+}
+
+fn stage_measure(
+    ctx: &mut SynthCtx<'_>,
+    (program, object): (&VmProgram, &ObjectCode),
+) -> Result<Measured, SynthError> {
+    let bounds = analyze(program, object);
+    let measured = Measured {
+        size_bytes: u64::from(object.size_bytes()),
+        min_cycles: bounds.min_cycles,
+        max_cycles: bounds.max_cycles,
+        ram_bytes: u64::from(program.ram_bytes()),
+    };
+    ctx.count("min_cycles", measured.min_cycles);
+    ctx.count("max_cycles", measured.max_cycles);
+    Ok(measured)
+}
+
+fn stage_rtos(
+    ctx: &mut SynthCtx<'_>,
+    (net, config): (&Network, &RtosConfig),
+) -> Result<String, SynthError> {
+    let rtos_c = emit_rtos_c(net, config);
+    let st = measure_c(&rtos_c);
+    ctx.count("tasks", net.cfsms().len() as u64);
+    ctx.count("lines", st.lines);
+    ctx.count("bytes", st.bytes);
+    Ok(rtos_c)
+}
+
+// ---------------------------------------------------------------------
+// Staged drivers.
+// ---------------------------------------------------------------------
+
+/// Runs the full per-CFSM pipeline for the style selected in
+/// `ctx.opts`, recording every stage into the context's trace.
+pub fn synthesize_cfsm(ctx: &mut SynthCtx<'_>, cfsm: &Cfsm) -> Result<CfsmSynthesis, SynthError> {
+    ctx.set_machine(Some(cfsm.name()));
+    let start = Instant::now();
+    let graph = match ctx.opts.style {
+        ImplStyle::DecisionGraph => {
+            let rf = ctx.run_stage(
+                Stage {
+                    name: "chi",
+                    run: stage_chi,
+                },
+                cfsm,
+            )?;
+            let rf = ctx.run_stage(
+                Stage {
+                    name: "sift",
+                    run: stage_sift,
+                },
+                rf,
+            )?;
+            let g = ctx.run_stage(
+                Stage {
+                    name: "sgraph",
+                    run: stage_sgraph,
+                },
+                rf,
+            )?;
+            if ctx.opts.collapse {
+                ctx.run_stage(
+                    Stage {
+                        name: "collapse",
+                        run: stage_collapse,
+                    },
+                    g,
+                )?
+            } else {
+                g
+            }
+        }
+        ImplStyle::IteChain => {
+            let rf = ctx.run_stage(
+                Stage {
+                    name: "chi",
+                    run: stage_chi,
+                },
+                cfsm,
+            )?;
+            ctx.run_stage(
+                Stage {
+                    name: "sgraph",
+                    run: stage_ite_chain,
+                },
+                rf,
+            )?
+        }
+        ImplStyle::TwoLevel => ctx.run_stage(
+            Stage {
+                name: "sgraph",
+                run: stage_two_level,
+            },
+            cfsm,
+        )?,
+    };
+    let (program, object) = ctx.run_stage(
+        Stage {
+            name: "compile",
+            run: stage_compile,
+        },
+        (cfsm, &graph),
+    )?;
+    // Matches the historical definition: BDD + sift + build + compile.
+    let synthesis_time = start.elapsed();
+    let c_code = ctx.run_stage(
+        Stage {
+            name: "emit_c",
+            run: stage_emit,
+        },
+        (cfsm, &graph),
+    )?;
+    let (est, max_cycles_false_path_aware) = ctx.run_stage(
+        Stage {
+            name: "estimate",
+            run: stage_estimate,
+        },
+        (cfsm, &graph),
+    )?;
+    let measured = ctx.run_stage(
+        Stage {
+            name: "measure",
+            run: stage_measure,
+        },
+        (&program, &object),
+    )?;
+    ctx.set_machine(None);
+    Ok(CfsmSynthesis {
+        graph,
+        c_code,
+        program,
+        object,
+        estimate: est,
+        max_cycles_false_path_aware,
+        measured,
+        synthesis_time,
+    })
+}
+
+/// Runs the per-CFSM pipeline over every machine of `net` on up to
+/// `jobs` scoped worker threads, then the network-level RTOS stage.
+///
+/// Each worker owns the BDD managers of the machines it claims (one
+/// manager per [`ReactiveFn`]); nothing is shared between workers except
+/// the read-only network, options, and cost parameters. Results and
+/// per-machine traces are merged in network order, so the returned
+/// [`NetworkSynthesis`] — including every byte of generated C — is
+/// identical for every `jobs` value. Only wall-clock timings vary.
+pub fn synthesize_network_staged(
+    net: &Network,
+    opts: &SynthesisOptions,
+    rtos: &RtosConfig,
+    jobs: usize,
+) -> Result<(NetworkSynthesis, SynthTrace), SynthError> {
+    let params = calibrate(opts.profile);
+    let cfsms = net.cfsms();
+    let n = cfsms.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    let start = Instant::now();
+
+    let mut slots: Vec<Option<Result<(CfsmSynthesis, SynthTrace), SynthError>>> =
+        (0..n).map(|_| None).collect();
+    if jobs <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let mut ctx = SynthCtx::new(opts, &params);
+            let r = synthesize_cfsm(&mut ctx, &cfsms[i]);
+            *slot = Some(r.map(|s| (s, ctx.into_trace())));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let done = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let next = &next;
+                    let params = &params;
+                    scope.spawn(move || {
+                        let mut claimed = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let mut ctx = SynthCtx::new(opts, params);
+                            let r = synthesize_cfsm(&mut ctx, &cfsms[i]);
+                            claimed.push((i, r.map(|s| (s, ctx.into_trace()))));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            let mut done = Vec::new();
+            for w in workers {
+                done.extend(w.join().expect("synthesis worker panicked"));
+            }
+            done
+        });
+        for (i, r) in done {
+            slots[i] = Some(r);
+        }
+    }
+
+    let mut machines = Vec::with_capacity(n);
+    let mut trace = SynthTrace::new();
+    for slot in slots {
+        let (synth, t) = slot.expect("every machine index was claimed")?;
+        machines.push(synth);
+        trace.extend(t);
+    }
+    let synthesis_time = start.elapsed();
+
+    let mut net_ctx = SynthCtx::new(opts, &params);
+    let rtos_c = net_ctx.run_stage(
+        Stage {
+            name: "rtos",
+            run: stage_rtos,
+        },
+        (net, rtos),
+    )?;
+    trace.extend(net_ctx.into_trace());
+
+    let total_rom = machines.iter().map(|m| m.measured.size_bytes).sum::<u64>() + RTOS_ROM_BYTES;
+    let total_ram =
+        machines.iter().map(|m| m.measured.ram_bytes).sum::<u64>() + RTOS_RAM_PER_TASK * n as u64;
+    Ok((
+        NetworkSynthesis {
+            machines,
+            rtos_c,
+            total_rom,
+            total_ram,
+            synthesis_time,
+        },
+        trace,
+    ))
+}

@@ -1,9 +1,70 @@
-//! Random CFSM and network generation for benchmarks and stress tests.
+//! Random CFSM and network generation for benchmarks and stress tests,
+//! driven by a small self-contained PRNG (no external dependencies, so the
+//! workspace builds offline).
 
 use polis_cfsm::{Cfsm, Network};
 use polis_expr::{Expr, Type, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// A deterministic splitmix64 pseudo-random number generator.
+///
+/// The whole workspace uses this one generator for randomized tests and
+/// benchmark inputs: it is seedable, portable, and has no dependencies.
+/// Not cryptographic — do not use it for anything security-relevant.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output (splitmix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `u64` in `range` (empty ranges panic).
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+
+    /// A uniform `usize` in `range`.
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform `i64` in `range`.
+    pub fn i64(&mut self, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as i64
+    }
+
+    /// An unbiased coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly chosen element of `items`.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize(0..items.len())]
+    }
+}
 
 /// Shape parameters for [`random_cfsm`] / [`random_network`].
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +98,7 @@ impl Default for RandomSpec {
 
 /// Generates a deterministic pseudo-random CFSM from `seed`.
 pub fn random_cfsm(name: &str, spec: &RandomSpec, seed: u64) -> Cfsm {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut b = Cfsm::builder(name);
     for i in 0..spec.pure_inputs {
         b.input_pure(format!("p{i}"));
@@ -69,34 +130,34 @@ pub fn random_cfsm(name: &str, spec: &RandomSpec, seed: u64) -> Cfsm {
     }
     let n_inputs = spec.pure_inputs + spec.valued_inputs;
     for _ in 0..spec.transitions {
-        let from = states[rng.gen_range(0..states.len())];
-        let to = states[rng.gen_range(0..states.len())];
+        let from = states[rng.usize(0..states.len())];
+        let to = states[rng.usize(0..states.len())];
         let mut tb = b.transition(from, to);
         // Require at least one presence atom so reactions are triggered.
-        let trig = rng.gen_range(0..n_inputs);
+        let trig = rng.usize(0..n_inputs);
         let name = if trig < spec.pure_inputs {
             format!("p{trig}")
         } else {
             format!("v{}", trig - spec.pure_inputs)
         };
         tb = tb.when_present(&name);
-        if !tests.is_empty() && rng.gen_bool(0.5) {
-            let t = tests[rng.gen_range(0..tests.len())];
-            tb = if rng.gen_bool(0.5) {
+        if !tests.is_empty() && rng.chance(0.5) {
+            let t = tests[rng.usize(0..tests.len())];
+            tb = if rng.chance(0.5) {
                 tb.when_test(t)
             } else {
                 tb.when_not_test(t)
             };
         }
-        if spec.outputs > 0 && rng.gen_bool(0.7) {
-            tb = tb.emit(&format!("o{}", rng.gen_range(0..spec.outputs)));
+        if spec.outputs > 0 && rng.chance(0.7) {
+            tb = tb.emit(&format!("o{}", rng.usize(0..spec.outputs)));
         }
-        if spec.vars > 0 && rng.gen_bool(0.6) {
-            let v = format!("x{}", rng.gen_range(0..spec.vars));
-            let e = if rng.gen_bool(0.5) {
+        if spec.vars > 0 && rng.chance(0.6) {
+            let v = format!("x{}", rng.usize(0..spec.vars));
+            let e = if rng.chance(0.5) {
                 Expr::var(v.clone()).add(Expr::int(1))
             } else {
-                Expr::int(rng.gen_range(0..16))
+                Expr::int(rng.i64(0..16))
             };
             tb = tb.assign(&v, e);
         }
@@ -120,9 +181,9 @@ pub fn random_network(n: usize, _spec: &RandomSpec, seed: u64) -> Network {
         b.state_var("n", Type::uint(8), Value::Int(0));
         let s0 = b.ctrl_state("a");
         let s1 = b.ctrl_state("b");
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(k as u64));
+        let mut rng = Rng::new(seed.wrapping_add(k as u64));
         let fwd = format!("link{}", k + 1);
-        let trig = if k > 0 && rng.gen_bool(0.8) {
+        let trig = if k > 0 && rng.chance(0.8) {
             format!("link{k}")
         } else {
             format!("ext{k}")
@@ -141,6 +202,30 @@ pub fn random_network(n: usize, _spec: &RandomSpec, seed: u64) -> Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(2);
+        assert_ne!(a.next_u64(), c.next_u64());
+        for _ in 0..1000 {
+            let v = c.usize(3..17);
+            assert!((3..17).contains(&v));
+            let w = c.i64(-5..6);
+            assert!((-5..6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(3);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
 
     #[test]
     fn random_cfsm_is_deterministic_per_seed() {

@@ -253,7 +253,14 @@ impl Measurer {
     }
 
     fn program(&self, insts: Vec<Inst>) -> VmProgram {
-        VmProgram::from_raw("probe", insts, Self::slots(), 1, 1, vec![Some(Type::uint(8))])
+        VmProgram::from_raw(
+            "probe",
+            insts,
+            Self::slots(),
+            1,
+            1,
+            vec![Some(Type::uint(8))],
+        )
     }
 
     /// Measures a body followed by `Return` via static analysis (bytes,

@@ -3,7 +3,7 @@
 use crate::params::{CostPair, CostParams, OpClass};
 use polis_cfsm::{Action, Cfsm};
 use polis_expr::Expr;
-use polis_sgraph::{analysis, AssignLabel, Cond, ComputedTarget, NodeId, SGraph, SNode, TestLabel};
+use polis_sgraph::{analysis, AssignLabel, ComputedTarget, Cond, NodeId, SGraph, SNode, TestLabel};
 use polis_vm::BufferPolicy;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
@@ -52,8 +52,7 @@ pub fn estimate(cfsm: &Cfsm, g: &SGraph, params: &CostParams, policy: BufferPoli
         size += (p - 1) as f64 * params.goto.bytes;
     }
 
-    let entry_cycles =
-        params.call_return.cycles + copies as f64 * params.local_init.cycles;
+    let entry_cycles = params.call_return.cycles + copies as f64 * params.local_init.cycles;
     let max_cycles = entry_cycles + pert_longest(g, &node_cycles, params);
     let min_cycles = entry_cycles + dijkstra_shortest(g, &node_cycles, params);
 
@@ -179,9 +178,7 @@ fn sub(a: CostPair, b: CostPair) -> CostPair {
 fn action_cost(cfsm: &Cfsm, action: usize, params: &CostParams) -> CostPair {
     match &cfsm.actions()[action] {
         Action::Emit { value: None, .. } => params.emit_pure,
-        Action::Emit {
-            value: Some(e), ..
-        } => {
+        Action::Emit { value: Some(e), .. } => {
             let mut c = params.emit_valued;
             add(&mut c, expr_ops_cost(e, params));
             c
@@ -342,8 +339,14 @@ mod tests {
         b.output_pure("off");
         let s_off = b.ctrl_state("off");
         let s_on = b.ctrl_state("on");
-        b.transition(s_off, s_on).when_present("tick").emit("on").done();
-        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.transition(s_off, s_on)
+            .when_present("tick")
+            .emit("on")
+            .done();
+        b.transition(s_on, s_off)
+            .when_present("tick")
+            .emit("off")
+            .done();
         b.build().unwrap()
     }
 

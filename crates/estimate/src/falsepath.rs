@@ -197,8 +197,14 @@ pub fn max_cycles_false_path_aware(
         let (Some(i), Some(j)) = (atom_index(inc.a.0), atom_index(inc.b.0)) else {
             continue;
         };
-        forbidden.entry((i, inc.a.1)).or_default().push((j, inc.b.1));
-        forbidden.entry((j, inc.b.1)).or_default().push((i, inc.a.1));
+        forbidden
+            .entry((i, inc.a.1))
+            .or_default()
+            .push((j, inc.b.1));
+        forbidden
+            .entry((j, inc.b.1))
+            .or_default()
+            .push((i, inc.a.1));
     }
 
     // DFS with memo on (node, defined-mask, value-mask).
@@ -242,13 +248,12 @@ pub fn max_cycles_false_path_aware(
                             // Check incompatibilities with fixed atoms.
                             let conflicts = forbidden
                                 .get(&(ai, want))
-                                .map(|l|
-
+                                .map(|l| {
                                     l.iter().any(|&(j, pj)| {
                                         let jb = 1u32 << j;
                                         nd & jb != 0 && (nv & jb != 0) == pj
                                     })
-                                )
+                                })
                                 .unwrap_or(false);
                             if conflicts {
                                 continue;
@@ -336,7 +341,10 @@ mod tests {
             .when_test(t_lo) // never fires: false path in the spec itself
             .emit("hi")
             .emit("lo")
-            .assign("acc", Expr::var("acc").mul(Expr::var("acc")).div(Expr::int(3)))
+            .assign(
+                "acc",
+                Expr::var("acc").mul(Expr::var("acc")).div(Expr::int(3)),
+            )
             .done();
         b.transition(s, s)
             .when_present("x")
@@ -393,8 +401,7 @@ mod tests {
         let rf = ReactiveFn::build(&m);
         let g = build(&rf).unwrap();
         let params = calibrate(Profile::Mcu8);
-        let plain = crate::cost::estimate(&m, &g, &params, polis_vm::BufferPolicy::All)
-            .max_cycles;
+        let plain = crate::cost::estimate(&m, &g, &params, polis_vm::BufferPolicy::All).max_cycles;
         let incs = derive_incompatibilities(&m);
         let aware = max_cycles_false_path_aware(&m, &g, &params, &incs);
         assert!(aware <= plain, "aware {aware} > plain {plain}");
@@ -443,8 +450,7 @@ mod tests {
         let rf = ReactiveFn::build(&m);
         let g = build(&rf).unwrap();
         let params = calibrate(Profile::Mcu8);
-        let plain =
-            crate::cost::estimate(&m, &g, &params, polis_vm::BufferPolicy::All).max_cycles;
+        let plain = crate::cost::estimate(&m, &g, &params, polis_vm::BufferPolicy::All).max_cycles;
         let incs = [Incompat {
             a: (PathAtom::Present(0), true),
             b: (PathAtom::Present(1), true),
@@ -459,8 +465,7 @@ mod tests {
         let rf = ReactiveFn::build(&m);
         let g = build(&rf).unwrap();
         let params = calibrate(Profile::Mcu8);
-        let plain = crate::cost::estimate(&m, &g, &params, polis_vm::BufferPolicy::All)
-            .max_cycles;
+        let plain = crate::cost::estimate(&m, &g, &params, polis_vm::BufferPolicy::All).max_cycles;
         assert_eq!(max_cycles_false_path_aware(&m, &g, &params, &[]), plain);
     }
 }

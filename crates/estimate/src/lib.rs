@@ -52,7 +52,5 @@ mod params;
 
 pub use calibrate::calibrate;
 pub use cost::{estimate, Estimate};
-pub use falsepath::{
-    derive_incompatibilities, max_cycles_false_path_aware, Incompat, PathAtom,
-};
+pub use falsepath::{derive_incompatibilities, max_cycles_false_path_aware, Incompat, PathAtom};
 pub use params::{CostParams, OpClass};

@@ -1,13 +1,13 @@
-//! Property test: over random machines, the estimator tracks exact
+//! Property-style test: over random machines, the estimator tracks exact
 //! object-code measurement within a bounded relative error, on both
-//! targets — the statistical content of Table I.
+//! targets — the statistical content of Table I. Deterministically seeded.
 
 use polis_cfsm::{Cfsm, OrderScheme, ReactiveFn};
+use polis_core::random::Rng;
 use polis_estimate::{calibrate, estimate};
 use polis_expr::{Expr, Type, Value};
 use polis_sgraph::build;
 use polis_vm::{analyze, assemble, compile, BufferPolicy, Profile};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Spec {
@@ -15,21 +15,25 @@ struct Spec {
     transitions: Vec<(usize, usize, u8, u8, u8, bool, bool)>,
 }
 
-fn arb_spec() -> impl Strategy<Value = Spec> {
-    (1..=4usize)
-        .prop_flat_map(|ns| {
+fn gen_spec(rng: &mut Rng) -> Spec {
+    let num_states = rng.usize(1..5);
+    let transitions = (0..rng.usize(1..9))
+        .map(|_| {
             (
-                Just(ns),
-                proptest::collection::vec(
-                    (0..ns, 0..ns, 0..3u8, 0..3u8, 0..3u8, any::<bool>(), any::<bool>()),
-                    1..=8,
-                ),
+                rng.usize(0..num_states),
+                rng.usize(0..num_states),
+                rng.usize(0..3) as u8,
+                rng.usize(0..3) as u8,
+                rng.usize(0..3) as u8,
+                rng.bool(),
+                rng.bool(),
             )
         })
-        .prop_map(|(num_states, transitions)| Spec {
-            num_states,
-            transitions,
-        })
+        .collect();
+    Spec {
+        num_states,
+        transitions,
+    }
 }
 
 fn instantiate(spec: &Spec) -> Cfsm {
@@ -70,11 +74,11 @@ fn instantiate(spec: &Spec) -> Cfsm {
     b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn estimator_tracks_measurement(spec in arb_spec()) {
+#[test]
+fn estimator_tracks_measurement() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0xacc ^ case.wrapping_mul(0x1234_5677));
+        let spec = gen_spec(&mut rng);
         for profile in [Profile::Mcu8, Profile::Risc32] {
             let params = calibrate(profile);
             let m = instantiate(&spec);
@@ -87,15 +91,17 @@ proptest! {
             let bounds = analyze(&prog, &obj);
 
             let rel = |a: f64, b: f64| (a - b).abs() / b.max(1.0);
-            prop_assert!(
+            assert!(
                 rel(est.size_bytes as f64, f64::from(obj.size_bytes())) < 0.5,
-                "{profile:?} size: est {} measured {}",
-                est.size_bytes, obj.size_bytes()
+                "case {case} {profile:?} size: est {} measured {}",
+                est.size_bytes,
+                obj.size_bytes()
             );
-            prop_assert!(
+            assert!(
                 rel(est.max_cycles as f64, bounds.max_cycles as f64) < 0.5,
-                "{profile:?} max cycles: est {} measured {}",
-                est.max_cycles, bounds.max_cycles
+                "case {case} {profile:?} max cycles: est {} measured {}",
+                est.max_cycles,
+                bounds.max_cycles
             );
         }
     }

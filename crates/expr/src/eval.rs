@@ -116,9 +116,9 @@ impl Expr {
     pub fn eval(&self, env: &dyn Env) -> Result<Value, EvalExprError> {
         match self {
             Expr::Const(v) => Ok(*v),
-            Expr::Var(name) => env.get(name).ok_or_else(|| EvalExprError::UnboundVar {
-                name: name.clone(),
-            }),
+            Expr::Var(name) => env
+                .get(name)
+                .ok_or_else(|| EvalExprError::UnboundVar { name: name.clone() }),
             Expr::Unary(op, a) => {
                 let av = a.eval(env)?;
                 match op {
@@ -183,10 +183,7 @@ mod tests {
     use super::*;
 
     fn env(pairs: &[(&str, Value)]) -> MapEnv {
-        pairs
-            .iter()
-            .map(|(k, v)| ((*k).to_string(), *v))
-            .collect()
+        pairs.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
     }
 
     #[test]
@@ -280,10 +277,7 @@ mod tests {
                 .unwrap(),
             Value::Int(2)
         );
-        assert_eq!(
-            Expr::var("p").not().eval(&e).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(Expr::var("p").not().eval(&e).unwrap(), Value::Bool(false));
     }
 
     #[test]
@@ -316,9 +310,6 @@ mod tests {
     #[test]
     fn neg_wraps() {
         let e = env(&[("x", Value::Int(i64::MIN))]);
-        assert_eq!(
-            Expr::var("x").neg().eval(&e).unwrap(),
-            Value::Int(i64::MIN)
-        );
+        assert_eq!(Expr::var("x").neg().eval(&e).unwrap(), Value::Int(i64::MIN));
     }
 }

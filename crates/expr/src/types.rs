@@ -108,7 +108,11 @@ impl Type {
                 bits,
                 signed: false,
             } => {
-                let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let mask = if bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
                 (v as u64 & mask) as i64
             }
             Type::Int { bits, signed: true } => {
@@ -125,7 +129,11 @@ impl Type {
         match self {
             Type::Bool => clamped as u64 & 1,
             Type::Int { bits, .. } => {
-                let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let mask = if bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
                 clamped as u64 & mask
             }
         }

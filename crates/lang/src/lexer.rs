@@ -43,7 +43,7 @@ pub enum Tok {
     Semi,
     Colon,
     Comma,
-    Assign,  // :=
+    Assign, // :=
     Question,
     Plus,
     Minus,
@@ -317,12 +317,7 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             kinds("module foo input"),
-            vec![
-                Tok::Module,
-                Tok::Ident("foo".into()),
-                Tok::Input,
-                Tok::Eof
-            ]
+            vec![Tok::Module, Tok::Ident("foo".into()), Tok::Input, Tok::Eof]
         );
     }
 

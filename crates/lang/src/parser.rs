@@ -80,15 +80,8 @@ pub fn parse_network(name: &str, src: &str) -> Result<Network, ParseError> {
 }
 
 fn parse_all(src: &str) -> Result<Vec<Cfsm>, ParseError> {
-    let tokens = lex(src).map_err(|(line, col, message)| ParseError {
-        line,
-        col,
-        message,
-    })?;
-    let mut p = Parser {
-        tokens,
-        pos: 0,
-    };
+    let tokens = lex(src).map_err(|(line, col, message)| ParseError { line, col, message })?;
+    let mut p = Parser { tokens, pos: 0 };
     let mut out = Vec::new();
     while p.peek() != &Tok::Eof {
         out.push(p.module()?);
@@ -349,7 +342,11 @@ impl Parser {
         Ok(g)
     }
 
-    fn guard_atom(&mut self, b: &mut CfsmBuilder, env: &mut ModuleEnv) -> Result<Guard, ParseError> {
+    fn guard_atom(
+        &mut self,
+        b: &mut CfsmBuilder,
+        env: &mut ModuleEnv,
+    ) -> Result<Guard, ParseError> {
         match self.peek().clone() {
             Tok::Bang => {
                 self.bump();
@@ -673,12 +670,11 @@ mod tests {
         assert_eq!(err.line, 2);
         let err = parse_module("module m { state s; from s to nowhere; }").unwrap_err();
         assert!(err.message.contains("unknown state"));
-        let err = parse_module("module m { input a; state s; from s to s when bogus; }")
-            .unwrap_err();
+        let err =
+            parse_module("module m { input a; state s; from s to s when bogus; }").unwrap_err();
         assert!(err.message.contains("unknown input"));
         let err =
-            parse_module("module m { input a; state s; from s to s when [?a == 1]; }")
-                .unwrap_err();
+            parse_module("module m { input a; state s; from s to s when [?a == 1]; }").unwrap_err();
         assert!(err.message.contains("not a valued input"));
     }
 

@@ -91,7 +91,11 @@ pub fn emit_source(m: &Cfsm) -> String {
 
 /// Renders every machine of a network.
 pub fn emit_network_source(net: &Network) -> String {
-    net.cfsms().iter().map(emit_source).collect::<Vec<_>>().join("\n")
+    net.cfsms()
+        .iter()
+        .map(emit_source)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn guard_source(m: &Cfsm, g: &Guard) -> String {
@@ -101,11 +105,7 @@ fn guard_source(m: &Cfsm, g: &Guard) -> String {
         Guard::Present(i) => m.inputs()[*i].name().to_owned(),
         Guard::Test(i) => format!("[{}]", expr_source(m, &m.tests()[*i].expr)),
         Guard::Not(x) => format!("!{}", guard_atom_source(m, x)),
-        Guard::And(a, b) => format!(
-            "({} && {})",
-            guard_source(m, a),
-            guard_source(m, b)
-        ),
+        Guard::And(a, b) => format!("({} && {})", guard_source(m, a), guard_source(m, b)),
         Guard::Or(a, b) => format!("({} || {})", guard_source(m, a), guard_source(m, b)),
     }
 }

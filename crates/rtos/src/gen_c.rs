@@ -33,7 +33,12 @@ pub fn emit_rtos_c(net: &Network, config: &RtosConfig) -> String {
             let _ = writeln!(out, "/* `{}` is implemented in hardware */", m.name());
             continue;
         }
-        let _ = writeln!(out, "extern void {}_react(struct {}_state *st);", m.name(), m.name());
+        let _ = writeln!(
+            out,
+            "extern void {}_react(struct {}_state *st);",
+            m.name(),
+            m.name()
+        );
         let _ = writeln!(out, "static struct {}_state {}_st;", m.name(), m.name());
     }
     for (a, b) in &config.chains {
@@ -55,7 +60,11 @@ pub fn emit_rtos_c(net: &Network, config: &RtosConfig) -> String {
         \u{20}* task are deferred so its input snapshot stays consistent. */\n\
         void polis_emit(int sig)\n{\n",
     );
-    for sig in net.emitted_signals().iter().chain(net.primary_inputs().iter()) {
+    for sig in net
+        .emitted_signals()
+        .iter()
+        .chain(net.primary_inputs().iter())
+    {
         let _ = writeln!(out, "    /* {sig} -> tasks {:?} */", net.consumers_of(sig));
     }
     out.push_str("    /* ...table-driven flag updates elided... */\n}\n\n");

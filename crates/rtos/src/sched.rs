@@ -94,10 +94,7 @@ fn analyse(tasks: &[TaskModel], blocking: bool) -> SchedAnalysis {
         "every task needs a positive period"
     );
     let n = tasks.len();
-    let utilization: f64 = tasks
-        .iter()
-        .map(|t| t.wcet as f64 / t.period as f64)
-        .sum();
+    let utilization: f64 = tasks.iter().map(|t| t.wcet as f64 / t.period as f64).sum();
     let ll_bound = if n == 0 {
         1.0
     } else {

@@ -415,12 +415,7 @@ impl Simulator {
     /// on `input` to the next emission of `output` (a simple I/O-latency
     /// probe for the Section V-B constraint check). Returns `None` if the
     /// pairing never occurred.
-    pub fn worst_latency(
-        &self,
-        stimuli: &[Stimulus],
-        input: &str,
-        output: &str,
-    ) -> Option<u64> {
+    pub fn worst_latency(&self, stimuli: &[Stimulus], input: &str, output: &str) -> Option<u64> {
         let mut worst = None;
         for s in stimuli.iter().filter(|s| s.signal == input) {
             let response = self
@@ -485,8 +480,7 @@ impl Simulator {
         let Runtime::Sw { prog, obj, mem } = &mut task.runtime else {
             unreachable!("hardware tasks react eagerly at delivery");
         };
-        let stats =
-            run_reaction(prog, obj, mem, &mut host).expect("synthesized routines execute");
+        let stats = run_reaction(prog, obj, mem, &mut host).expect("synthesized routines execute");
 
         self.stats.reactions[ti] += 1;
         if host.consumed {

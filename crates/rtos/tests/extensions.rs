@@ -46,9 +46,8 @@ fn chaining_preserves_behaviour_and_saves_cycles() {
     chained.run(&stim);
 
     // Same observable emissions.
-    let sigs = |sim: &Simulator| -> Vec<String> {
-        sim.trace().iter().map(|t| t.signal.clone()).collect()
-    };
+    let sigs =
+        |sim: &Simulator| -> Vec<String> { sim.trace().iter().map(|t| t.signal.clone()).collect() };
     assert_eq!(sigs(&plain), sigs(&chained));
 
     // Chained execution removes dispatch overhead: fewer busy cycles.
@@ -112,7 +111,11 @@ fn hardware_cfsm_carries_values() {
     b.output_pure("big");
     let s = b.ctrl_state("s");
     let t = b.test("t", Expr::var("y_value").gt(Expr::int(10)));
-    b.transition(s, s).when_present("y").when_test(t).emit("big").done();
+    b.transition(s, s)
+        .when_present("y")
+        .when_test(t)
+        .emit("big")
+        .done();
     let sw = b.build().unwrap();
 
     let net = Network::new("hwsw", vec![hw, sw]).unwrap();
@@ -132,10 +135,7 @@ fn hardware_cfsm_carries_values() {
         .map(|t| t.value)
         .collect();
     assert_eq!(ys, vec![Some(6), Some(18)]);
-    assert_eq!(
-        sim.trace().iter().filter(|t| t.signal == "big").count(),
-        1
-    );
+    assert_eq!(sim.trace().iter().filter(|t| t.signal == "big").count(), 1);
 }
 
 #[test]
@@ -173,10 +173,7 @@ fn preemption_runs_urgent_task_inside_the_window() {
         ..RtosConfig::default()
     };
     // The urgent event lands inside the slow reaction's window.
-    let stim = vec![
-        Stimulus::pure(0, "go_slow"),
-        Stimulus::pure(60, "go_fast"),
-    ];
+    let stim = vec![Stimulus::pure(0, "go_slow"), Stimulus::pure(60, "go_fast")];
 
     let mut pre = Simulator::build(&net, mk(true));
     pre.run(&stim);
@@ -193,9 +190,7 @@ fn preemption_runs_urgent_task_inside_the_window() {
         "preemptive latency {lat_pre} > non-preemptive {lat_no}"
     );
     // Behaviour is identical either way.
-    let count = |sim: &Simulator, sig: &str| {
-        sim.trace().iter().filter(|t| t.signal == sig).count()
-    };
+    let count = |sim: &Simulator, sig: &str| sim.trace().iter().filter(|t| t.signal == sig).count();
     for sig in ["slow_done", "fast_done"] {
         assert_eq!(count(&pre, sig), count(&nopre, sig), "{sig}");
     }
@@ -239,8 +234,7 @@ fn hw_sw_snapshot_consistency_is_preserved() {
 
 #[test]
 fn chained_tasks_count_toward_totals() {
-    let present: BTreeSet<(String, String)> =
-        [("a".to_string(), "b".to_string())].into();
+    let present: BTreeSet<(String, String)> = [("a".to_string(), "b".to_string())].into();
     let config = RtosConfig {
         chains: present,
         ..RtosConfig::default()

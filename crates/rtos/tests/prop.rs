@@ -1,9 +1,8 @@
-//! Property tests over random pipelines and stimuli: RTOS invariants that
-//! must hold for every schedule.
+//! Property-style tests over random pipelines and stimuli: RTOS invariants
+//! that must hold for every schedule. Deterministically seeded, offline.
 
-use polis_core::random::{random_network, RandomSpec};
+use polis_core::random::{random_network, RandomSpec, Rng};
 use polis_rtos::{RtosConfig, SchedulingPolicy, Simulator, Stimulus};
-use proptest::prelude::*;
 
 fn configs() -> Vec<RtosConfig> {
     vec![
@@ -24,18 +23,14 @@ fn configs() -> Vec<RtosConfig> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn rtos_invariants_hold_for_every_schedule(
-        seed in 0u64..500,
-        events in proptest::collection::vec((0u64..500_000, 0usize..4), 1..20),
-    ) {
+#[test]
+fn rtos_invariants_hold_for_every_schedule() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x17_05 ^ case.wrapping_mul(0xabcdef));
+        let seed = rng.u64(0..500);
         let net = random_network(4, &RandomSpec::default(), seed);
-        let stim: Vec<Stimulus> = events
-            .iter()
-            .map(|&(t, k)| Stimulus::pure(t, format!("ext{k}")))
+        let stim: Vec<Stimulus> = (0..rng.usize(1..20))
+            .map(|_| Stimulus::pure(rng.u64(0..500_000), format!("ext{}", rng.usize(0..4))))
             .collect();
         for config in configs() {
             let mut sim = Simulator::build(&net, config);
@@ -44,51 +39,52 @@ proptest! {
 
             // 1. Fired reactions never exceed executed reactions.
             for (f, r) in stats.fired.iter().zip(&stats.reactions) {
-                prop_assert!(f <= r);
+                assert!(f <= r, "case={case}");
             }
             // 2. Trace times are monotone non-decreasing.
             let mut last = 0;
             for t in sim.trace() {
-                prop_assert!(t.time >= last, "trace went backwards");
+                assert!(t.time >= last, "case={case}: trace went backwards");
                 last = t.time;
             }
             // 3. Every trace entry is attributed to a network machine.
             for t in sim.trace() {
-                prop_assert!(net.machine_index(&t.by).is_some());
+                assert!(net.machine_index(&t.by).is_some(), "case={case}");
             }
             // 4. Conservation: each relay's firings equal its emissions.
             for (mi, m) in net.cfsms().iter().enumerate() {
-                let emitted = sim
-                    .trace()
-                    .iter()
-                    .filter(|t| t.by == m.name())
-                    .count() as u64;
-                prop_assert_eq!(
+                let emitted = sim.trace().iter().filter(|t| t.by == m.name()).count() as u64;
+                assert_eq!(
                     emitted,
                     stats.fired[mi],
-                    "machine {} fired {} but emitted {}",
-                    m.name(), stats.fired[mi], emitted
+                    "case={case}: machine {} fired {} but emitted {}",
+                    m.name(),
+                    stats.fired[mi],
+                    emitted
                 );
             }
             // 5. Busy cycles never exceed wall-clock time.
-            prop_assert!(stats.busy_cycles <= stats.total_cycles.max(stats.busy_cycles));
+            assert!(
+                stats.busy_cycles <= stats.total_cycles.max(stats.busy_cycles),
+                "case={case}"
+            );
             // 6. The simulation terminated with no task still enabled:
             //    re-running with no stimuli adds nothing.
             let before = sim.trace().len();
             sim.run(&[]);
-            prop_assert_eq!(sim.trace().len(), before);
+            assert_eq!(sim.trace().len(), before, "case={case}");
         }
     }
+}
 
-    #[test]
-    fn chaining_never_changes_observable_emissions(
-        seed in 0u64..200,
-        events in proptest::collection::vec((0u64..400_000, 0usize..3), 1..12),
-    ) {
+#[test]
+fn chaining_never_changes_observable_emissions() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0xc8a1 ^ case.wrapping_mul(0x777));
+        let seed = rng.u64(0..200);
         let net = random_network(3, &RandomSpec::default(), seed);
-        let stim: Vec<Stimulus> = events
-            .iter()
-            .map(|&(t, k)| Stimulus::pure(t, format!("ext{k}")))
+        let stim: Vec<Stimulus> = (0..rng.usize(1..12))
+            .map(|_| Stimulus::pure(rng.u64(0..400_000), format!("ext{}", rng.usize(0..3))))
             .collect();
 
         let mut plain = Simulator::build(&net, RtosConfig::default());
@@ -100,10 +96,13 @@ proptest! {
             .zip(net.cfsms().iter().skip(1))
             .map(|(a, b)| (a.name().to_owned(), b.name().to_owned()))
             .collect();
-        let mut chained = Simulator::build(&net, RtosConfig {
-            chains,
-            ..RtosConfig::default()
-        });
+        let mut chained = Simulator::build(
+            &net,
+            RtosConfig {
+                chains,
+                ..RtosConfig::default()
+            },
+        );
         chained.run(&stim);
 
         let sigs = |sim: &Simulator| -> Vec<(String, String)> {
@@ -115,7 +114,10 @@ proptest! {
             v.sort();
             v
         };
-        prop_assert_eq!(sigs(&plain), sigs(&chained));
-        prop_assert!(chained.stats().busy_cycles <= plain.stats().busy_cycles);
+        assert_eq!(sigs(&plain), sigs(&chained), "case={case}");
+        assert!(
+            chained.stats().busy_cycles <= plain.stats().busy_cycles,
+            "case={case}"
+        );
     }
 }

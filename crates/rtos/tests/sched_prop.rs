@@ -1,60 +1,70 @@
-//! Properties of the schedulability analyses over random task sets.
+//! Properties of the schedulability analyses over random task sets,
+//! deterministically seeded (offline-safe).
 
+use polis_core::random::Rng;
 use polis_rtos::{rate_monotonic, rate_monotonic_nonpreemptive, TaskModel};
-use proptest::prelude::*;
 
-fn arb_tasks() -> impl Strategy<Value = Vec<TaskModel>> {
-    proptest::collection::vec((1u64..50, 10u64..500), 1..8).prop_map(|v| {
-        v.into_iter()
-            .enumerate()
-            .map(|(i, (c, p))| TaskModel::new(format!("t{i}"), c.min(p), p))
-            .collect()
-    })
+fn gen_tasks(rng: &mut Rng) -> Vec<TaskModel> {
+    (0..rng.usize(1..8))
+        .map(|i| {
+            let c = rng.u64(1..50);
+            let p = rng.u64(10..500);
+            TaskModel::new(format!("t{i}"), c.min(p), p)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Blocking can only hurt: a set schedulable without preemption is
-    /// also schedulable with it.
-    #[test]
-    fn nonpreemptive_schedulable_implies_preemptive(tasks in arb_tasks()) {
+/// Blocking can only hurt: a set schedulable without preemption is
+/// also schedulable with it.
+#[test]
+fn nonpreemptive_schedulable_implies_preemptive() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x5c4ed ^ case.wrapping_mul(0x9e37));
+        let tasks = gen_tasks(&mut rng);
         let non = rate_monotonic_nonpreemptive(&tasks);
         let pre = rate_monotonic(&tasks);
         if non.schedulable {
-            prop_assert!(pre.schedulable);
+            assert!(pre.schedulable, "case={case}");
         }
         // Blocking never shortens a response time.
         for (a, b) in non.response_times.iter().zip(&pre.response_times) {
             if let (Some(a), Some(b)) = (a, b) {
-                prop_assert!(a >= b);
+                assert!(a >= b, "case={case}");
             }
         }
     }
+}
 
-    /// Over-utilized sets are never declared schedulable.
-    #[test]
-    fn utilization_above_one_is_unschedulable(tasks in arb_tasks()) {
+/// Over-utilized sets are never declared schedulable.
+#[test]
+fn utilization_above_one_is_unschedulable() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x07e1 ^ case.wrapping_mul(0x51ef));
+        let tasks = gen_tasks(&mut rng);
         let a = rate_monotonic(&tasks);
         if a.utilization > 1.0 {
-            prop_assert!(!a.schedulable);
+            assert!(!a.schedulable, "case={case}");
         }
         // And the LL quick test is sound: passing it implies RTA passes.
         if a.passes_utilization_test {
-            prop_assert!(a.schedulable, "{:?}", a);
+            assert!(a.schedulable, "case={case}: {a:?}");
         }
     }
+}
 
-    /// The highest-priority task's response time is exactly its WCET
-    /// (plus blocking in the non-preemptive model).
-    #[test]
-    fn top_priority_response_is_wcet(tasks in arb_tasks()) {
+/// The highest-priority task's response time is exactly its WCET
+/// (plus blocking in the non-preemptive model).
+#[test]
+fn top_priority_response_is_wcet() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x70b ^ case.wrapping_mul(0x1_0001));
+        let tasks = gen_tasks(&mut rng);
         let a = rate_monotonic(&tasks);
         let top = (0..tasks.len())
             .min_by_key(|&i| (tasks[i].period, i))
             .unwrap();
         if let Some(r) = a.response_times[top] {
-            prop_assert_eq!(r, tasks[top].wcet);
+            assert_eq!(r, tasks[top].wcet, "case={case}");
         }
     }
 }

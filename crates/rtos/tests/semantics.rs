@@ -4,9 +4,7 @@
 
 use polis_cfsm::{Cfsm, Network};
 use polis_expr::{Expr, Type, Value};
-use polis_rtos::{
-    DeliveryMode, RtosConfig, SchedulingPolicy, Simulator, Stimulus,
-};
+use polis_rtos::{DeliveryMode, RtosConfig, SchedulingPolicy, Simulator, Stimulus};
 
 fn relay(name: &str, input: &str, output: &str) -> Cfsm {
     let mut b = Cfsm::builder(name);
@@ -21,7 +19,11 @@ fn relay(name: &str, input: &str, output: &str) -> Cfsm {
 fn pipeline_propagates_events_in_order() {
     let net = Network::new(
         "chain",
-        vec![relay("a", "in", "m1"), relay("b", "m1", "m2"), relay("c", "m2", "out")],
+        vec![
+            relay("a", "in", "m1"),
+            relay("b", "m1", "m2"),
+            relay("c", "m2", "out"),
+        ],
     )
     .unwrap();
     let mut sim = Simulator::build(&net, RtosConfig::default());
@@ -35,7 +37,11 @@ fn pipeline_propagates_events_in_order() {
         .collect();
     assert_eq!(outs, vec!["c", "c"], "trace: {:?}", sim.trace());
     // m1 is emitted before m2 before out each round.
-    let times: Vec<(&str, u64)> = sim.trace().iter().map(|t| (t.signal.as_str(), t.time)).collect();
+    let times: Vec<(&str, u64)> = sim
+        .trace()
+        .iter()
+        .map(|t| (t.signal.as_str(), t.time))
+        .collect();
     let first = |sig: &str| times.iter().find(|(s, _)| *s == sig).unwrap().1;
     assert!(first("m1") <= first("m2"));
     assert!(first("m2") <= first("out"));
@@ -130,7 +136,10 @@ fn snapshot_race_of_section_iv_d() {
 fn static_priority_dispatches_urgent_task_first() {
     let net = Network::new(
         "two",
-        vec![relay("low", "e_low", "out_low"), relay("high", "e_high", "out_high")],
+        vec![
+            relay("low", "e_low", "out_low"),
+            relay("high", "e_high", "out_high"),
+        ],
     )
     .unwrap();
     let config = RtosConfig {
@@ -202,14 +211,18 @@ fn valued_events_carry_data_through_the_network() {
     b.output_pure("high");
     let s = b.ctrl_state("s");
     let big = b.test("big", Expr::var("y_value").gt(Expr::int(10)));
-    b.transition(s, s).when_present("y").when_test(big).emit("high").done();
+    b.transition(s, s)
+        .when_present("y")
+        .when_test(big)
+        .emit("high")
+        .done();
     let thresh = b.build().unwrap();
 
     let net = Network::new("vp", vec![doubler, thresh]).unwrap();
     let mut sim = Simulator::build(&net, RtosConfig::default());
     sim.run(&[
-        Stimulus::valued(0, "x", 3),       // 6: below threshold
-        Stimulus::valued(50_000, "x", 9),  // 18: above
+        Stimulus::valued(0, "x", 3),      // 6: below threshold
+        Stimulus::valued(50_000, "x", 9), // 18: above
     ]);
     let ys: Vec<Option<i64>> = sim
         .trace()
@@ -255,9 +268,7 @@ fn state_persists_across_reactions() {
     let m = b.build().unwrap();
     let net = Network::new("n", vec![m]).unwrap();
     let mut sim = Simulator::build(&net, RtosConfig::default());
-    let stim: Vec<Stimulus> = (0..9)
-        .map(|i| Stimulus::pure(i * 100_000, "e"))
-        .collect();
+    let stim: Vec<Stimulus> = (0..9).map(|i| Stimulus::pure(i * 100_000, "e")).collect();
     sim.run(&stim);
     let thirds = sim.trace().iter().filter(|t| t.signal == "third").count();
     assert_eq!(thirds, 3);

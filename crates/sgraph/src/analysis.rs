@@ -33,7 +33,8 @@ pub enum BufferPolicy {
 /// it; any vertex reading such a variable marks it as needing a buffer.
 pub fn vars_needing_buffer(cfsm: &Cfsm, g: &SGraph) -> BTreeSet<String> {
     // Reads/writes per vertex, by state-variable name.
-    let test_reads = |test: usize| -> Vec<String> { expr_state_reads(cfsm, &cfsm.tests()[test].expr) };
+    let test_reads =
+        |test: usize| -> Vec<String> { expr_state_reads(cfsm, &cfsm.tests()[test].expr) };
     let action_rw = |action: usize| -> (Vec<String>, Option<String>) {
         match &cfsm.actions()[action] {
             Action::Emit { value, .. } => (

@@ -43,10 +43,9 @@ impl fmt::Display for BuildError {
             BuildError::UnsatisfiableChi => {
                 write!(f, "characteristic function is unsatisfiable")
             }
-            BuildError::IncompleteSpec { at } => write!(
-                f,
-                "characteristic function is incomplete at input `{at}`"
-            ),
+            BuildError::IncompleteSpec { at } => {
+                write!(f, "characteristic function is incomplete at input `{at}`")
+            }
             BuildError::UnmappedVar { name } => {
                 write!(f, "BDD variable `{name}` has no reactive-function metadata")
             }
@@ -148,10 +147,8 @@ fn conv(
                     let mut bits = Vec::new();
                     let mut cur = n;
                     // Consume the contiguous run of next-state bit nodes.
-                    while let Some(cl) = bdd
-                        .node_var(cur)
-                        .and_then(|cv| rf.locate(cv))
-                        .filter(|cl| {
+                    while let Some(cl) =
+                        bdd.node_var(cur).and_then(|cv| rf.locate(cv)).filter(|cl| {
                             cl.side == Side::Output
                                 && rf.outputs()[cl.var].kind == RfVarKind::NextCtrl
                         })
@@ -222,8 +219,14 @@ mod tests {
         b.output_pure("off");
         let s_off = b.ctrl_state("off");
         let s_on = b.ctrl_state("on");
-        b.transition(s_off, s_on).when_present("tick").emit("on").done();
-        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.transition(s_off, s_on)
+            .when_present("tick")
+            .emit("on")
+            .done();
+        b.transition(s_on, s_off)
+            .when_present("tick")
+            .emit("off")
+            .done();
         b.build().unwrap()
     }
 

@@ -84,8 +84,8 @@ pub fn ite_chain(rf: &mut ReactiveFn) -> SGraph {
                 _ => unreachable!("output kinds only"),
             };
             // A next-state bit that always keeps its value needs no vertex.
-            let trivial_skip = matches!(kind, RfVarKind::NextCtrl)
-                && cond == Cond::CtrlBit { bit: bi, width };
+            let trivial_skip =
+                matches!(kind, RfVarKind::NextCtrl) && cond == Cond::CtrlBit { bit: bi, width };
             slots.push(Slot {
                 target,
                 cond,
@@ -191,8 +191,14 @@ mod tests {
         b.output_pure("off");
         let s_off = b.ctrl_state("off");
         let s_on = b.ctrl_state("on");
-        b.transition(s_off, s_on).when_present("tick").emit("on").done();
-        b.transition(s_on, s_off).when_present("tick").emit("off").done();
+        b.transition(s_off, s_on)
+            .when_present("tick")
+            .emit("on")
+            .done();
+        b.transition(s_on, s_off)
+            .when_present("tick")
+            .emit("off")
+            .done();
         b.build().unwrap()
     }
 
@@ -221,8 +227,8 @@ mod tests {
             // count visited via evaluate through execute path lengths:
             // use the graph length as proxy — run evaluate directly.
             let r = execute(&m, &g, &present, &vals, &st).unwrap();
-            // collect (fired, emission count) just to make sure it ran
-            visiteds.insert(g.num_assigns() + 2 + usize::from(r.fired) * 0);
+            let _ = r.fired; // the reaction ran; only the static shape matters
+            visiteds.insert(g.num_assigns() + 2);
         }
         assert_eq!(visiteds.len(), 1);
     }

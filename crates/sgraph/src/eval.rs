@@ -130,9 +130,7 @@ impl SGraph {
                             }
                             ctrl as usize
                         }
-                        TestLabel::Compound { cond } => {
-                            usize::from(eval_cond(cond, env, ctrl)?)
-                        }
+                        TestLabel::Compound { cond } => usize::from(eval_cond(cond, env, ctrl)?),
                     };
                     cur = children[idx];
                 }
@@ -205,12 +203,8 @@ fn eval_cond_rec(
         },
         Cond::CtrlBit { bit, width } => (ctrl >> (width - 1 - bit)) & 1 == 1,
         Cond::Not(a) => !eval_cond_rec(a, env, ctrl, err),
-        Cond::And(a, b) => {
-            eval_cond_rec(a, env, ctrl, err) && eval_cond_rec(b, env, ctrl, err)
-        }
-        Cond::Or(a, b) => {
-            eval_cond_rec(a, env, ctrl, err) || eval_cond_rec(b, env, ctrl, err)
-        }
+        Cond::And(a, b) => eval_cond_rec(a, env, ctrl, err) && eval_cond_rec(b, env, ctrl, err),
+        Cond::Or(a, b) => eval_cond_rec(a, env, ctrl, err) || eval_cond_rec(b, env, ctrl, err),
     }
 }
 

@@ -135,6 +135,23 @@ pub enum SNode {
 
 /// A software graph: the control-flow skeleton of one CFSM's reaction.
 ///
+/// Size measures of an s-graph, collected in one reachability pass by
+/// [`SGraph::stats`]. Recorded into the synthesis trace before and after
+/// collapsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SGraphStats {
+    /// Total arena nodes, including BEGIN/END and unreachable leftovers.
+    pub nodes: usize,
+    /// Nodes reachable from BEGIN.
+    pub reachable: usize,
+    /// Reachable TEST vertices.
+    pub tests: usize,
+    /// Reachable ASSIGN vertices.
+    pub assigns: usize,
+    /// Maximum TEST vertices on any BEGIN→END path.
+    pub depth: usize,
+}
+
 /// Nodes are stored in an arena; node 0 is BEGIN, node 1 is END. The graph
 /// is a DAG from BEGIN to END (Definition 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -222,6 +239,29 @@ impl SGraph {
         order
     }
 
+    /// One-pass snapshot of the graph's size measures, for pipeline
+    /// instrumentation (cheaper than calling each accessor separately,
+    /// which would redo the reachability walk).
+    pub fn stats(&self) -> SGraphStats {
+        let reachable = self.reachable();
+        let mut tests = 0;
+        let mut assigns = 0;
+        for id in &reachable {
+            match self.node(*id) {
+                SNode::Test { .. } => tests += 1,
+                SNode::Assign { .. } => assigns += 1,
+                _ => {}
+            }
+        }
+        SGraphStats {
+            nodes: self.len(),
+            reachable: reachable.len(),
+            tests,
+            assigns,
+            depth: self.depth(),
+        }
+    }
+
     /// Number of reachable TEST vertices.
     pub fn num_tests(&self) -> usize {
         self.reachable()
@@ -250,11 +290,8 @@ impl SGraph {
                 SNode::Begin { next } => depth[id.index()] = depth[next.index()],
                 SNode::Assign { next, .. } => depth[id.index()] = depth[next.index()],
                 SNode::Test { children, .. } => {
-                    depth[id.index()] = 1 + children
-                        .iter()
-                        .map(|c| depth[c.index()])
-                        .max()
-                        .unwrap_or(0);
+                    depth[id.index()] =
+                        1 + children.iter().map(|c| depth[c.index()]).max().unwrap_or(0);
                 }
             }
         }

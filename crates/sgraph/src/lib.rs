@@ -63,4 +63,4 @@ pub use chain::ite_chain;
 pub use collapse::{collapse, CollapseOptions};
 pub use cond::Cond;
 pub use eval::{execute, input_values, EvalError, EvalOutcome, SgEnv};
-pub use graph::{AssignLabel, ComputedTarget, NodeId, SGraph, SNode, TestLabel};
+pub use graph::{AssignLabel, ComputedTarget, NodeId, SGraph, SGraphStats, SNode, TestLabel};

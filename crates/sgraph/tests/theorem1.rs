@@ -1,19 +1,19 @@
-//! Property-based verification of Theorem 1: for random CFSMs, the s-graph
+//! Property-style verification of Theorem 1: for random CFSMs, the s-graph
 //! built from the characteristic-function BDD computes exactly the CFSM's
 //! transition function — under every variable-ordering scheme, for the
-//! ITE-chain form, and after TEST-node collapsing.
+//! ITE-chain form, and after TEST-node collapsing. Deterministically seeded.
 
 use polis_cfsm::{Cfsm, OrderScheme, ReactiveFn};
+use polis_core::random::Rng;
 use polis_expr::{Expr, MapEnv, Value};
 use polis_sgraph::{build, collapse, execute, ite_chain, CollapseOptions, SGraph};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 /// A compact recipe for a random 2-input/2-output machine.
 #[derive(Debug, Clone)]
 struct MachineSpec {
-    num_states: usize,                   // 1..=3
-    transitions: Vec<TransitionSpec>,    // 1..=6
+    num_states: usize,                // 1..=3
+    transitions: Vec<TransitionSpec>, // 1..=6
 }
 
 #[derive(Debug, Clone)]
@@ -27,49 +27,29 @@ struct TransitionSpec {
     need_t: u8,
     emit_x: bool,
     emit_y: bool,
-    bump: bool, // n := n + 1
+    bump: bool,  // n := n + 1
     reset: bool, // n := 0 (overrides bump)
 }
 
-fn arb_transition(num_states: usize) -> impl Strategy<Value = TransitionSpec> {
-    (
-        0..num_states,
-        0..num_states,
-        0..3u8,
-        0..3u8,
-        0..3u8,
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(from, to, need_a, need_b, need_t, emit_x, emit_y, bump, reset)| TransitionSpec {
-                from,
-                to,
-                need_a,
-                need_b,
-                need_t,
-                emit_x,
-                emit_y,
-                bump,
-                reset,
-            },
-        )
-}
-
-fn arb_machine() -> impl Strategy<Value = MachineSpec> {
-    (1..=3usize)
-        .prop_flat_map(|num_states| {
-            (
-                Just(num_states),
-                proptest::collection::vec(arb_transition(num_states), 1..=6),
-            )
+fn gen_machine(rng: &mut Rng) -> MachineSpec {
+    let num_states = rng.usize(1..4);
+    let transitions = (0..rng.usize(1..7))
+        .map(|_| TransitionSpec {
+            from: rng.usize(0..num_states),
+            to: rng.usize(0..num_states),
+            need_a: rng.usize(0..3) as u8,
+            need_b: rng.usize(0..3) as u8,
+            need_t: rng.usize(0..3) as u8,
+            emit_x: rng.bool(),
+            emit_y: rng.bool(),
+            bump: rng.bool(),
+            reset: rng.bool(),
         })
-        .prop_map(|(num_states, transitions)| MachineSpec {
-            num_states,
-            transitions,
-        })
+        .collect();
+    MachineSpec {
+        num_states,
+        transitions,
+    }
 }
 
 fn instantiate(spec: &MachineSpec) -> Cfsm {
@@ -117,8 +97,10 @@ fn instantiate(spec: &MachineSpec) -> Cfsm {
 }
 
 /// One randomized stimulus step: which inputs arrive and b's value.
-fn arb_stimulus() -> impl Strategy<Value = Vec<(bool, bool, i64)>> {
-    proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..12)
+fn gen_stimulus(rng: &mut Rng) -> Vec<(bool, bool, i64)> {
+    (0..rng.usize(1..12))
+        .map(|_| (rng.bool(), rng.bool(), rng.i64(0..16)))
+        .collect()
 }
 
 fn run_equivalence(m: &Cfsm, g: &SGraph, stimulus: &[(bool, bool, i64)]) {
@@ -153,60 +135,73 @@ fn run_equivalence(m: &Cfsm, g: &SGraph, stimulus: &[(bool, bool, i64)]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn theorem1_natural_order(spec in arb_machine(), stim in arb_stimulus()) {
+/// Runs `f` over 64 seeded (machine, stimulus) cases.
+fn for_each_case(tag: u64, f: impl Fn(&Cfsm, &[(bool, bool, i64)])) {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(tag ^ case.wrapping_mul(0x9e37_79b9));
+        let spec = gen_machine(&mut rng);
+        let stim = gen_stimulus(&mut rng);
         let m = instantiate(&spec);
-        let rf = ReactiveFn::build(&m);
-        let g = build(&rf).expect("build");
-        run_equivalence(&m, &g, &stim);
+        f(&m, &stim);
     }
+}
 
-    #[test]
-    fn theorem1_outputs_after_all_inputs(spec in arb_machine(), stim in arb_stimulus()) {
-        let m = instantiate(&spec);
-        let mut rf = ReactiveFn::build(&m);
+#[test]
+fn theorem1_natural_order() {
+    for_each_case(0x01, |m, stim| {
+        let rf = ReactiveFn::build(m);
+        let g = build(&rf).expect("build");
+        run_equivalence(m, &g, stim);
+    });
+}
+
+#[test]
+fn theorem1_outputs_after_all_inputs() {
+    for_each_case(0x02, |m, stim| {
+        let mut rf = ReactiveFn::build(m);
         rf.sift(OrderScheme::OutputsAfterAllInputs);
         let g = build(&rf).expect("build");
-        run_equivalence(&m, &g, &stim);
-    }
+        run_equivalence(m, &g, stim);
+    });
+}
 
-    #[test]
-    fn theorem1_outputs_after_support(spec in arb_machine(), stim in arb_stimulus()) {
-        let m = instantiate(&spec);
-        let mut rf = ReactiveFn::build(&m);
+#[test]
+fn theorem1_outputs_after_support() {
+    for_each_case(0x03, |m, stim| {
+        let mut rf = ReactiveFn::build(m);
         rf.sift_with_passes(OrderScheme::OutputsAfterSupport, usize::MAX);
         let g = build(&rf).expect("build");
-        run_equivalence(&m, &g, &stim);
-    }
+        run_equivalence(m, &g, stim);
+    });
+}
 
-    #[test]
-    fn theorem1_ite_chain(spec in arb_machine(), stim in arb_stimulus()) {
-        let m = instantiate(&spec);
-        let mut rf = ReactiveFn::build(&m);
+#[test]
+fn theorem1_ite_chain() {
+    for_each_case(0x04, |m, stim| {
+        let mut rf = ReactiveFn::build(m);
         let g = ite_chain(&mut rf);
-        run_equivalence(&m, &g, &stim);
-    }
+        run_equivalence(m, &g, stim);
+    });
+}
 
-    #[test]
-    fn theorem1_after_collapse(spec in arb_machine(), stim in arb_stimulus()) {
-        let m = instantiate(&spec);
-        let mut rf = ReactiveFn::build(&m);
+#[test]
+fn theorem1_after_collapse() {
+    for_each_case(0x05, |m, stim| {
+        let mut rf = ReactiveFn::build(m);
         rf.sift(OrderScheme::OutputsAfterSupport);
         let g = build(&rf).expect("build");
         let c = collapse(&g, CollapseOptions::default());
-        run_equivalence(&m, &c, &stim);
-    }
+        run_equivalence(m, &c, stim);
+    });
+}
 
-    #[test]
-    fn reduce_is_semantics_preserving(spec in arb_machine(), stim in arb_stimulus()) {
-        let m = instantiate(&spec);
-        let rf = ReactiveFn::build(&m);
+#[test]
+fn reduce_is_semantics_preserving() {
+    for_each_case(0x06, |m, stim| {
+        let rf = ReactiveFn::build(m);
         let g = build(&rf).expect("build");
         let r = g.reduce();
-        prop_assert!(r.len() <= g.len());
-        run_equivalence(&m, &r, &stim);
-    }
+        assert!(r.len() <= g.len());
+        run_equivalence(m, &r, stim);
+    });
 }

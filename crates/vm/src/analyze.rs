@@ -60,10 +60,7 @@ fn bounds(
             let taken = u64::from(cost.taken_extra);
             let (tmn, tmx) = bounds(prog, obj, *target, memo, visiting);
             let (fmn, fmx) = bounds(prog, obj, pc + 1, memo, visiting);
-            (
-                base + (taken + tmn).min(fmn),
-                base + (taken + tmx).max(fmx),
-            )
+            (base + (taken + tmn).min(fmn), base + (taken + tmx).max(fmx))
         }
         Inst::JumpTable(targets) => {
             let mut mn = u64::MAX;
@@ -157,9 +154,9 @@ mod tests {
         let p = program(vec![
             Inst::PushVar(0),
             Inst::JumpTable(vec![2, 4]),
-            Inst::Return,             // arm 0: cheap
-            Inst::EmitPure(0),        // unreachable filler
-            Inst::EmitPure(0),        // arm 1: expensive
+            Inst::Return,      // arm 0: cheap
+            Inst::EmitPure(0), // unreachable filler
+            Inst::EmitPure(0), // arm 1: expensive
             Inst::Consume,
             Inst::Return,
         ]);

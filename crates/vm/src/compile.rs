@@ -9,9 +9,7 @@
 use crate::inst::{Inst, SlotInfo, SlotKind, VmProgram};
 use polis_cfsm::{Action, Cfsm};
 use polis_expr::{Expr, Type, UnOp};
-use polis_sgraph::{
-    analysis, AssignLabel, Cond, ComputedTarget, NodeId, SGraph, SNode, TestLabel,
-};
+use polis_sgraph::{analysis, AssignLabel, ComputedTarget, Cond, NodeId, SGraph, SNode, TestLabel};
 use std::collections::{BTreeSet, HashMap};
 
 pub use polis_sgraph::BufferPolicy;
@@ -440,9 +438,8 @@ impl Emitter<'_> {
 
     /// Resolves label ids in branch targets to instruction indices.
     fn finish(mut self) -> Vec<Inst> {
-        let resolve = |labels: &[Option<usize>], l: usize| -> usize {
-            labels[l].expect("unbound label")
-        };
+        let resolve =
+            |labels: &[Option<usize>], l: usize| -> usize { labels[l].expect("unbound label") };
         for inst in &mut self.insts {
             match inst {
                 Inst::Branch { target, .. } | Inst::Jump(target) => {

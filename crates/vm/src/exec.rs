@@ -118,7 +118,10 @@ impl fmt::Display for RunError {
         match self {
             RunError::StackUnderflow { at } => write!(f, "stack underflow at instruction {at}"),
             RunError::BadTableIndex { at, index } => {
-                write!(f, "jump-table index {index} out of range at instruction {at}")
+                write!(
+                    f,
+                    "jump-table index {index} out of range at instruction {at}"
+                )
             }
             RunError::MissingReturn => write!(f, "control ran past the end of the routine"),
             RunError::StepLimit => write!(f, "execution step limit exceeded"),
@@ -371,7 +374,11 @@ mod tests {
 
     #[test]
     fn jump_table_out_of_range_is_error() {
-        let p = program(vec![Inst::PushImm(9), Inst::JumpTable(vec![2]), Inst::Return]);
+        let p = program(vec![
+            Inst::PushImm(9),
+            Inst::JumpTable(vec![2]),
+            Inst::Return,
+        ]);
         let obj = assemble(&p, Profile::Mcu8);
         let mut mem = VmMemory::new(&p);
         let mut host = CollectingHost::default();

@@ -192,12 +192,15 @@ impl VmProgram {
 
     /// The slot holding the buffered value of valued input `input`.
     pub fn input_value_slot(&self, input: usize) -> Option<u16> {
-        self.slots.iter().position(|s| {
-            s.kind
-                == SlotKind::InputValue {
-                    input: input as u16,
-                }
-        }).map(|i| i as u16)
+        self.slots
+            .iter()
+            .position(|s| {
+                s.kind
+                    == SlotKind::InputValue {
+                        input: input as u16,
+                    }
+            })
+            .map(|i| i as u16)
     }
 
     /// The slot holding the persistent control state, if any.

@@ -1,16 +1,16 @@
 //! Cross-layer properties: compiled object code behaves exactly like the
 //! s-graph it was compiled from (and hence like the CFSM, by Theorem 1),
 //! and its dynamic cycle counts always fall inside the static min/max
-//! bounds of the object-code analyzer.
+//! bounds of the object-code analyzer. Deterministically seeded.
 
 use polis_cfsm::{Cfsm, OrderScheme, ReactiveFn};
+use polis_core::random::Rng;
 use polis_expr::{Env, Expr, MapEnv, Type, Value};
 use polis_sgraph::{build, ite_chain, SGraph};
 use polis_vm::{
     analyze, assemble, compile, run_reaction, BufferPolicy, CollectingHost, Profile, VmMemory,
     VmProgram,
 };
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]
@@ -32,46 +32,31 @@ struct MachineSpec {
     transitions: Vec<TransitionSpec>,
 }
 
-fn arb_machine() -> impl Strategy<Value = MachineSpec> {
-    (1..=3usize)
-        .prop_flat_map(|num_states| {
-            (
-                Just(num_states),
-                proptest::collection::vec(
-                    (
-                        0..num_states,
-                        0..num_states,
-                        0..3u8,
-                        0..3u8,
-                        0..3u8,
-                        any::<bool>(),
-                        any::<bool>(),
-                        any::<bool>(),
-                        any::<bool>(),
-                    )
-                        .prop_map(
-                            |(from, to, need_a, need_b, need_t, emit_x, emit_v, bump, reset)| {
-                                TransitionSpec {
-                                    from,
-                                    to,
-                                    need_a,
-                                    need_b,
-                                    need_t,
-                                    emit_x,
-                                    emit_v,
-                                    bump,
-                                    reset,
-                                }
-                            },
-                        ),
-                    1..=5,
-                ),
-            )
+fn gen_machine(rng: &mut Rng) -> MachineSpec {
+    let num_states = rng.usize(1..4);
+    let transitions = (0..rng.usize(1..6))
+        .map(|_| TransitionSpec {
+            from: rng.usize(0..num_states),
+            to: rng.usize(0..num_states),
+            need_a: rng.usize(0..3) as u8,
+            need_b: rng.usize(0..3) as u8,
+            need_t: rng.usize(0..3) as u8,
+            emit_x: rng.bool(),
+            emit_v: rng.bool(),
+            bump: rng.bool(),
+            reset: rng.bool(),
         })
-        .prop_map(|(num_states, transitions)| MachineSpec {
-            num_states,
-            transitions,
-        })
+        .collect();
+    MachineSpec {
+        num_states,
+        transitions,
+    }
+}
+
+fn gen_stimulus(rng: &mut Rng, max_len: usize) -> Vec<(bool, bool, i64)> {
+    (0..rng.usize(1..max_len))
+        .map(|_| (rng.bool(), rng.bool(), rng.i64(0..16)))
+        .collect()
 }
 
 fn instantiate(spec: &MachineSpec) -> Cfsm {
@@ -191,63 +176,63 @@ fn check_machine(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn compiled_code_matches_reference_mcu8(
-        spec in arb_machine(),
-        stim in proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..10),
-    ) {
+/// Runs `f` over 48 seeded (machine, stimulus) cases.
+fn for_each_case(tag: u64, stim_max: usize, f: impl Fn(&Cfsm, &[(bool, bool, i64)])) {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(tag ^ case.wrapping_mul(0x517c_c1b7));
+        let spec = gen_machine(&mut rng);
+        let stim = gen_stimulus(&mut rng, stim_max);
         let m = instantiate(&spec);
-        let mut rf = ReactiveFn::build(&m);
+        f(&m, &stim);
+    }
+}
+
+#[test]
+fn compiled_code_matches_reference_mcu8() {
+    for_each_case(0x11, 10, |m, stim| {
+        let mut rf = ReactiveFn::build(m);
         rf.sift(OrderScheme::OutputsAfterSupport);
         let g = build(&rf).unwrap();
-        check_machine(&m, &g, BufferPolicy::All, Profile::Mcu8, &stim);
-    }
+        check_machine(m, &g, BufferPolicy::All, Profile::Mcu8, stim);
+    });
+}
 
-    #[test]
-    fn compiled_code_matches_reference_risc32(
-        spec in arb_machine(),
-        stim in proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..10),
-    ) {
-        let m = instantiate(&spec);
-        let rf = ReactiveFn::build(&m);
+#[test]
+fn compiled_code_matches_reference_risc32() {
+    for_each_case(0x12, 10, |m, stim| {
+        let rf = ReactiveFn::build(m);
         let g = build(&rf).unwrap();
-        check_machine(&m, &g, BufferPolicy::All, Profile::Risc32, &stim);
-    }
+        check_machine(m, &g, BufferPolicy::All, Profile::Risc32, stim);
+    });
+}
 
-    #[test]
-    fn minimal_buffering_is_still_correct(
-        spec in arb_machine(),
-        stim in proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..10),
-    ) {
-        let m = instantiate(&spec);
-        let mut rf = ReactiveFn::build(&m);
+#[test]
+fn minimal_buffering_is_still_correct() {
+    for_each_case(0x13, 10, |m, stim| {
+        let mut rf = ReactiveFn::build(m);
         rf.sift(OrderScheme::OutputsAfterSupport);
         let g = build(&rf).unwrap();
-        check_machine(&m, &g, BufferPolicy::Minimal, Profile::Mcu8, &stim);
-    }
+        check_machine(m, &g, BufferPolicy::Minimal, Profile::Mcu8, stim);
+    });
+}
 
-    #[test]
-    fn ite_chain_compiles_and_matches(
-        spec in arb_machine(),
-        stim in proptest::collection::vec((any::<bool>(), any::<bool>(), 0..16i64), 1..8),
-    ) {
-        let m = instantiate(&spec);
-        let mut rf = ReactiveFn::build(&m);
+#[test]
+fn ite_chain_compiles_and_matches() {
+    for_each_case(0x14, 8, |m, stim| {
+        let mut rf = ReactiveFn::build(m);
         let g = ite_chain(&mut rf);
-        check_machine(&m, &g, BufferPolicy::All, Profile::Mcu8, &stim);
-    }
+        check_machine(m, &g, BufferPolicy::All, Profile::Mcu8, stim);
+    });
+}
 
-    #[test]
-    fn minimal_buffering_never_uses_more_ram(spec in arb_machine()) {
-        let m = instantiate(&spec);
-        let rf = ReactiveFn::build(&m);
+#[test]
+fn minimal_buffering_never_uses_more_ram() {
+    for_each_case(0x15, 2, |m, _stim| {
+        let rf = ReactiveFn::build(m);
         let g = build(&rf).unwrap();
-        let all = compile(&m, &g, BufferPolicy::All);
-        let min = compile(&m, &g, BufferPolicy::Minimal);
-        prop_assert!(min.ram_bytes() <= all.ram_bytes());
-        prop_assert!(min.num_local_copies() <= all.num_local_copies());
-    }
+        let all = compile(m, &g, BufferPolicy::All);
+        let min = compile(m, &g, BufferPolicy::Minimal);
+        assert!(min.ram_bytes() <= all.ram_bytes());
+        assert!(min.num_local_copies() <= all.num_local_copies());
+    });
 }

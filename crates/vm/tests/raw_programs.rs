@@ -3,8 +3,8 @@
 
 use polis_expr::Type;
 use polis_vm::{
-    analyze, assemble, run_reaction, CollectingHost, Inst, Profile, RunError, SlotInfo,
-    SlotKind, VmMemory, VmProgram,
+    analyze, assemble, run_reaction, CollectingHost, Inst, Profile, RunError, SlotInfo, SlotKind,
+    VmMemory, VmProgram,
 };
 
 fn slot() -> Vec<SlotInfo> {

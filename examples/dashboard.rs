@@ -17,7 +17,10 @@ fn main() {
 
     // Synthesize everything on the 68HC11-like target.
     let result = synthesize_network(&net, &SynthesisOptions::default(), &RtosConfig::default());
-    println!("\n{:<12} {:>8} {:>8} {:>10} {:>10}", "module", "ROM[B]", "RAM[B]", "min[cyc]", "max[cyc]");
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>10} {:>10}",
+        "module", "ROM[B]", "RAM[B]", "min[cyc]", "max[cyc]"
+    );
     for (m, r) in net.cfsms().iter().zip(&result.machines) {
         println!(
             "{:<12} {:>8} {:>8} {:>10} {:>10}",
@@ -50,9 +53,15 @@ fn main() {
 
     println!("\n--- co-simulation trace (gauge outputs) ---");
     for t in sim.trace() {
-        if matches!(t.signal.as_str(), "speed" | "rpm" | "duty_speed" | "duty_fuel" | "fuel_level" | "odo_pulse" | "low_fuel") {
+        if matches!(
+            t.signal.as_str(),
+            "speed" | "rpm" | "duty_speed" | "duty_fuel" | "fuel_level" | "odo_pulse" | "low_fuel"
+        ) {
             match t.value {
-                Some(v) => println!("t={:>8}  {:<12} = {:>4}  (by {})", t.time, t.signal, v, t.by),
+                Some(v) => println!(
+                    "t={:>8}  {:<12} = {:>4}  (by {})",
+                    t.time, t.signal, v, t.by
+                ),
                 None => println!("t={:>8}  {:<12}         (by {})", t.time, t.signal, t.by),
             }
         }

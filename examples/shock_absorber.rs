@@ -34,7 +34,11 @@ fn main() {
     // valve refresh, under a realistic stimulus.
     let mut stim = Vec::new();
     for i in 0..10u64 {
-        stim.push(Stimulus::valued(i * 50_000, "acc_sample", if i % 2 == 0 { 30 } else { -30 }));
+        stim.push(Stimulus::valued(
+            i * 50_000,
+            "acc_sample",
+            if i % 2 == 0 { 30 } else { -30 },
+        ));
     }
     stim.push(Stimulus::valued(20_000, "speed_sample", 110));
     stim.push(Stimulus::pure(260_000, "window"));
@@ -47,7 +51,10 @@ fn main() {
     println!("\n--- trace ---");
     for t in sim.trace() {
         match t.value {
-            Some(v) => println!("t={:>8}  {:<10} = {:>4}  (by {})", t.time, t.signal, v, t.by),
+            Some(v) => println!(
+                "t={:>8}  {:<10} = {:>4}  (by {})",
+                t.time, t.signal, v, t.by
+            ),
             None => println!("t={:>8}  {:<10}         (by {})", t.time, t.signal, t.by),
         }
     }

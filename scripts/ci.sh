@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: formatting, lints, build, and the full test suite.
+# The workspace has zero external dependencies, so every step below works
+# without network access (no `cargo fetch` required).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -15,7 +15,10 @@
 
 use polis::cfsm::Network;
 use polis::codegen::emit_network_header;
-use polis::core::{synthesize_network, ImplStyle, SynthesisOptions};
+use polis::core::{
+    synthesize_network, synthesize_network_staged, ImplStyle, MetricValue, StageRecord, SynthTrace,
+    SynthesisOptions,
+};
 use polis::lang::parse_network;
 use polis::rtos::{RtosConfig, SchedulingPolicy, Simulator, Stimulus};
 use polis::sgraph::BufferPolicy;
@@ -81,7 +84,15 @@ impl Args {
 fn takes_value(name: &str) -> bool {
     matches!(
         name,
-        "o" | "style" | "target" | "scheme" | "buffering" | "stim" | "policy" | "module"
+        "o" | "style"
+            | "target"
+            | "scheme"
+            | "buffering"
+            | "stim"
+            | "policy"
+            | "module"
+            | "jobs"
+            | "trace"
     )
 }
 
@@ -107,7 +118,8 @@ fn run(raw: Vec<String>) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      polis synth <spec> [-o DIR] [--style dg|chain|2lvl] [--target mcu8|risc32]\n    \
-       [--scheme natural|after-inputs|after-support] [--buffering all|minimal] [--collapse]\n  \
+       [--scheme natural|after-inputs|after-support] [--buffering all|minimal] [--collapse]\n    \
+       [--jobs N] [--trace FILE]\n  \
      polis estimate <spec> [same options]\n  \
      polis sim <spec> --stim <file> [--policy rr|prio] [--target mcu8|risc32]\n  \
      polis dot <spec> [--module NAME]\n  \
@@ -120,8 +132,7 @@ fn load_network(args: &Args) -> Result<Network, String> {
         .positional
         .get(1)
         .ok_or_else(|| format!("missing <spec> argument\n{}", usage()))?;
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let name = PathBuf::from(path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
@@ -191,9 +202,33 @@ fn cost_table(net: &Network, result: &polis::core::NetworkSynthesis) {
 }
 
 fn synth(args: &Args) -> Result<(), String> {
+    let parse_start = std::time::Instant::now();
     let net = load_network(args)?;
+    let parse_wall = parse_start.elapsed();
     let opts = options(args)?;
-    let result = synthesize_network(&net, &opts, &RtosConfig::default());
+    let jobs = match args.flag("jobs") {
+        Some(j) => j
+            .parse::<usize>()
+            .ok()
+            .filter(|&j| j >= 1)
+            .ok_or_else(|| format!("--jobs takes a positive integer, got `{j}`"))?,
+        None => 1,
+    };
+
+    let mut trace = SynthTrace::new();
+    trace.push(StageRecord {
+        stage: "parse",
+        machine: None,
+        wall: parse_wall,
+        counters: vec![(
+            "modules".to_owned(),
+            MetricValue::Int(net.cfsms().len() as u64),
+        )],
+    });
+    let (result, synth_trace) =
+        synthesize_network_staged(&net, &opts, &RtosConfig::default(), jobs)
+            .map_err(|e| e.to_string())?;
+    trace.extend(synth_trace);
 
     let out_dir = PathBuf::from(args.flag("o").unwrap_or("."));
     std::fs::create_dir_all(&out_dir)
@@ -208,6 +243,11 @@ fn synth(args: &Args) -> Result<(), String> {
     write("rtos.c", &result.rtos_c)?;
     for (m, r) in net.cfsms().iter().zip(&result.machines) {
         write(&format!("{}.c", m.name()), &r.c_code)?;
+    }
+    if let Some(trace_path) = args.flag("trace") {
+        std::fs::write(trace_path, trace.to_json())
+            .map_err(|e| format!("cannot write `{trace_path}`: {e}"))?;
+        println!("wrote {trace_path}");
     }
     println!();
     cost_table(&net, &result);
@@ -239,8 +279,7 @@ fn estimate_cmd(args: &Args) -> Result<(), String> {
 }
 
 fn parse_stimuli(path: &str) -> Result<Vec<Stimulus>, String> {
-    let src =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut out = Vec::new();
     for (lineno, line) in src.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("").trim();
@@ -269,9 +308,7 @@ fn parse_stimuli(path: &str) -> Result<Vec<Stimulus>, String> {
 
 fn sim(args: &Args) -> Result<(), String> {
     let net = load_network(args)?;
-    let stim_path = args
-        .flag("stim")
-        .ok_or("sim requires --stim <file>")?;
+    let stim_path = args.flag("stim").ok_or("sim requires --stim <file>")?;
     let stim = parse_stimuli(stim_path)?;
     let mut config = RtosConfig::default();
     if let Some(target) = args.flag("target") {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_buffering-0196afd4561ded00.d: crates/bench/src/bin/ablation_buffering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_buffering-0196afd4561ded00.rmeta: crates/bench/src/bin/ablation_buffering.rs Cargo.toml
+
+crates/bench/src/bin/ablation_buffering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

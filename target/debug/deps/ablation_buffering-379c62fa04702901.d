@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_buffering-379c62fa04702901.d: crates/bench/src/bin/ablation_buffering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_buffering-379c62fa04702901.rmeta: crates/bench/src/bin/ablation_buffering.rs Cargo.toml
+
+crates/bench/src/bin/ablation_buffering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

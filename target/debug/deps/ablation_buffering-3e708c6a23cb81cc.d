@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffering-3e708c6a23cb81cc.d: crates/bench/src/bin/ablation_buffering.rs
+
+/root/repo/target/debug/deps/ablation_buffering-3e708c6a23cb81cc: crates/bench/src/bin/ablation_buffering.rs
+
+crates/bench/src/bin/ablation_buffering.rs:

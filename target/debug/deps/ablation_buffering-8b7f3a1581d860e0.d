@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffering-8b7f3a1581d860e0.d: crates/bench/src/bin/ablation_buffering.rs
+
+/root/repo/target/debug/deps/ablation_buffering-8b7f3a1581d860e0: crates/bench/src/bin/ablation_buffering.rs
+
+crates/bench/src/bin/ablation_buffering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_collapse-ab6cd24984687214.d: crates/bench/src/bin/ablation_collapse.rs
+
+/root/repo/target/debug/deps/ablation_collapse-ab6cd24984687214: crates/bench/src/bin/ablation_collapse.rs
+
+crates/bench/src/bin/ablation_collapse.rs:

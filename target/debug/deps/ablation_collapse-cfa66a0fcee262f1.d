@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_collapse-cfa66a0fcee262f1.d: crates/bench/src/bin/ablation_collapse.rs
+
+/root/repo/target/debug/deps/ablation_collapse-cfa66a0fcee262f1: crates/bench/src/bin/ablation_collapse.rs
+
+crates/bench/src/bin/ablation_collapse.rs:

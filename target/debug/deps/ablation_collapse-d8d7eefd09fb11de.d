@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_collapse-d8d7eefd09fb11de.d: crates/bench/src/bin/ablation_collapse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_collapse-d8d7eefd09fb11de.rmeta: crates/bench/src/bin/ablation_collapse.rs Cargo.toml
+
+crates/bench/src/bin/ablation_collapse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

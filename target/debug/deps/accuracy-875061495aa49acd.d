@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-875061495aa49acd.d: crates/estimate/tests/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-875061495aa49acd: crates/estimate/tests/accuracy.rs
+
+crates/estimate/tests/accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy-f52483158fe98371.d: crates/estimate/tests/accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy-f52483158fe98371.rmeta: crates/estimate/tests/accuracy.rs Cargo.toml
+
+crates/estimate/tests/accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

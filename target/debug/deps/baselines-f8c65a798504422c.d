@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-f8c65a798504422c.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-f8c65a798504422c: tests/baselines.rs
+
+tests/baselines.rs:

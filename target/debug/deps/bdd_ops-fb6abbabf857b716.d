@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdd_ops-fb6abbabf857b716.d: crates/bench/benches/bdd_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdd_ops-fb6abbabf857b716.rmeta: crates/bench/benches/bdd_ops.rs Cargo.toml
+
+crates/bench/benches/bdd_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c_structure-4e89ed7b3bb7d23a.d: crates/codegen/tests/c_structure.rs
+
+/root/repo/target/debug/deps/c_structure-4e89ed7b3bb7d23a: crates/codegen/tests/c_structure.rs
+
+crates/codegen/tests/c_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c_structure-edd9bde21d79a232.d: crates/codegen/tests/c_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc_structure-edd9bde21d79a232.rmeta: crates/codegen/tests/c_structure.rs Cargo.toml
+
+crates/codegen/tests/c_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-17228095b1456ca0.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-17228095b1456ca0: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_polis=/root/repo/target/debug/polis

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-43f0ab785b696e37.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-43f0ab785b696e37.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_polis=placeholder:polis
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compose_prop-486680a692a8e2ae.d: crates/cfsm/tests/compose_prop.rs
+
+/root/repo/target/debug/deps/compose_prop-486680a692a8e2ae: crates/cfsm/tests/compose_prop.rs
+
+crates/cfsm/tests/compose_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compose_prop-55ebb0b18b5b3a28.d: crates/cfsm/tests/compose_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompose_prop-55ebb0b18b5b3a28.rmeta: crates/cfsm/tests/compose_prop.rs Cargo.toml
+
+crates/cfsm/tests/compose_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

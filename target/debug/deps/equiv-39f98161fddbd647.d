@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equiv-39f98161fddbd647.d: crates/vm/tests/equiv.rs
+
+/root/repo/target/debug/deps/equiv-39f98161fddbd647: crates/vm/tests/equiv.rs
+
+crates/vm/tests/equiv.rs:

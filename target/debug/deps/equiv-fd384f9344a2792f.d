@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equiv-fd384f9344a2792f.d: crates/vm/tests/equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequiv-fd384f9344a2792f.rmeta: crates/vm/tests/equiv.rs Cargo.toml
+
+crates/vm/tests/equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-305322cd2ae85273.d: crates/rtos/tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-305322cd2ae85273.rmeta: crates/rtos/tests/extensions.rs Cargo.toml
+
+crates/rtos/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

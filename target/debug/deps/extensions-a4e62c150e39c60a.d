@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a4e62c150e39c60a.d: crates/rtos/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a4e62c150e39c60a: crates/rtos/tests/extensions.rs
+
+crates/rtos/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/falsepath-16d63b0763cbe721.d: crates/bench/src/bin/falsepath.rs
+
+/root/repo/target/debug/deps/falsepath-16d63b0763cbe721: crates/bench/src/bin/falsepath.rs
+
+crates/bench/src/bin/falsepath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/falsepath-8a144d63538d7920.d: crates/bench/src/bin/falsepath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfalsepath-8a144d63538d7920.rmeta: crates/bench/src/bin/falsepath.rs Cargo.toml
+
+crates/bench/src/bin/falsepath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

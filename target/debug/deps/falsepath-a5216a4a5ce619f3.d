@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/falsepath-a5216a4a5ce619f3.d: crates/bench/src/bin/falsepath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfalsepath-a5216a4a5ce619f3.rmeta: crates/bench/src/bin/falsepath.rs Cargo.toml
+
+crates/bench/src/bin/falsepath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

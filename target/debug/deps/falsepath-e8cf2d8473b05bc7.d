@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/falsepath-e8cf2d8473b05bc7.d: crates/bench/src/bin/falsepath.rs
+
+/root/repo/target/debug/deps/falsepath-e8cf2d8473b05bc7: crates/bench/src/bin/falsepath.rs
+
+crates/bench/src/bin/falsepath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_simple-5a43d46ca5a23fc2.d: tests/fig1_simple.rs
+
+/root/repo/target/debug/deps/fig1_simple-5a43d46ca5a23fc2: tests/fig1_simple.rs
+
+tests/fig1_simple.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_simple-eecd7d6b967423f4.d: tests/fig1_simple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_simple-eecd7d6b967423f4.rmeta: tests/fig1_simple.rs Cargo.toml
+
+tests/fig1_simple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-02ee35ed7e31a33d.d: crates/bench/src/bin/granularity.rs
+
+/root/repo/target/debug/deps/granularity-02ee35ed7e31a33d: crates/bench/src/bin/granularity.rs
+
+crates/bench/src/bin/granularity.rs:

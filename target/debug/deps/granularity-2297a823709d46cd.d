@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-2297a823709d46cd.d: crates/bench/src/bin/granularity.rs
+
+/root/repo/target/debug/deps/granularity-2297a823709d46cd: crates/bench/src/bin/granularity.rs
+
+crates/bench/src/bin/granularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/granularity-2839054e46d1e052.d: crates/bench/src/bin/granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgranularity-2839054e46d1e052.rmeta: crates/bench/src/bin/granularity.rs Cargo.toml
+
+crates/bench/src/bin/granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-36cd95a7506529c9.d: crates/core/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-36cd95a7506529c9.rmeta: crates/core/tests/pipeline.rs Cargo.toml
+
+crates/core/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

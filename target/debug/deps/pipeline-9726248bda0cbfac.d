@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-9726248bda0cbfac.d: crates/core/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-9726248bda0cbfac: crates/core/tests/pipeline.rs
+
+crates/core/tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis-0c2bc456809ccf55.d: src/bin/polis.rs
+
+/root/repo/target/debug/deps/polis-0c2bc456809ccf55: src/bin/polis.rs
+
+src/bin/polis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis-0f987d9ddfe48052.d: src/lib.rs
+
+/root/repo/target/debug/deps/polis-0f987d9ddfe48052: src/lib.rs
+
+src/lib.rs:

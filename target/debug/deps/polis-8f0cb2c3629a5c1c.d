@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis-8f0cb2c3629a5c1c.d: src/bin/polis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis-8f0cb2c3629a5c1c.rmeta: src/bin/polis.rs Cargo.toml
+
+src/bin/polis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

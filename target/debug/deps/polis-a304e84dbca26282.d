@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis-a304e84dbca26282.d: src/bin/polis.rs
+
+/root/repo/target/debug/deps/polis-a304e84dbca26282: src/bin/polis.rs
+
+src/bin/polis.rs:

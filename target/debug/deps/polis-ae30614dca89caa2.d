@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/polis-ae30614dca89caa2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpolis-ae30614dca89caa2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpolis-ae30614dca89caa2.rmeta: src/lib.rs
+
+src/lib.rs:

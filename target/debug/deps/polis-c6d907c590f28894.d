@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis-c6d907c590f28894.d: src/bin/polis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis-c6d907c590f28894.rmeta: src/bin/polis.rs Cargo.toml
+
+src/bin/polis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

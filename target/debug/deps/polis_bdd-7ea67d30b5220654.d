@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/polis_bdd-7ea67d30b5220654.d: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/debug/deps/polis_bdd-7ea67d30b5220654: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/encode.rs:
+crates/bdd/src/reorder.rs:

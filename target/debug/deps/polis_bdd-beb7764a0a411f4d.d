@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis_bdd-beb7764a0a411f4d.d: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/debug/deps/libpolis_bdd-beb7764a0a411f4d.rlib: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/debug/deps/libpolis_bdd-beb7764a0a411f4d.rmeta: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/encode.rs:
+crates/bdd/src/reorder.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/polis_bench-2643e39b6d89a842.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpolis_bench-2643e39b6d89a842.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpolis_bench-2643e39b6d89a842.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

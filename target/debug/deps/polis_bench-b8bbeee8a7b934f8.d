@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis_bench-b8bbeee8a7b934f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/polis_bench-b8bbeee8a7b934f8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis_bench-bcd5aa2516ef5a1a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_bench-bcd5aa2516ef5a1a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/polis_cfsm-3dbe940b36c619b5.d: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_cfsm-3dbe940b36c619b5.rmeta: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs Cargo.toml
+
+crates/cfsm/src/lib.rs:
+crates/cfsm/src/chi.rs:
+crates/cfsm/src/compose.rs:
+crates/cfsm/src/machine.rs:
+crates/cfsm/src/network.rs:
+crates/cfsm/src/signal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/polis_cfsm-f5574dd64ce2151b.d: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_cfsm-f5574dd64ce2151b.rmeta: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs Cargo.toml
+
+crates/cfsm/src/lib.rs:
+crates/cfsm/src/chi.rs:
+crates/cfsm/src/compose.rs:
+crates/cfsm/src/machine.rs:
+crates/cfsm/src/network.rs:
+crates/cfsm/src/signal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/polis_codegen-5796a876a8a3ea11.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+/root/repo/target/debug/deps/polis_codegen-5796a876a8a3ea11: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/two_level.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/polis_codegen-83d30c3161b698a0.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_codegen-83d30c3161b698a0.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/two_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

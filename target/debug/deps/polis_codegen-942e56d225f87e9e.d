@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis_codegen-942e56d225f87e9e.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+/root/repo/target/debug/deps/libpolis_codegen-942e56d225f87e9e.rlib: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+/root/repo/target/debug/deps/libpolis_codegen-942e56d225f87e9e.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/two_level.rs:

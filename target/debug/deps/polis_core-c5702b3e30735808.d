@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/polis_core-c5702b3e30735808.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_core-c5702b3e30735808.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/random.rs:
+crates/core/src/trace.rs:
+crates/core/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/polis_core-da50f71a2a9afc77.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs
+
+/root/repo/target/debug/deps/libpolis_core-da50f71a2a9afc77.rlib: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs
+
+/root/repo/target/debug/deps/libpolis_core-da50f71a2a9afc77.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/random.rs:
+crates/core/src/trace.rs:
+crates/core/src/workloads.rs:

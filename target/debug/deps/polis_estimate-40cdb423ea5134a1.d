@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/polis_estimate-40cdb423ea5134a1.d: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_estimate-40cdb423ea5134a1.rmeta: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs Cargo.toml
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/calibrate.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/falsepath.rs:
+crates/estimate/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

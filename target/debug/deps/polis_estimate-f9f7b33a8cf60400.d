@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis_estimate-f9f7b33a8cf60400.d: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+/root/repo/target/debug/deps/polis_estimate-f9f7b33a8cf60400: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/calibrate.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/falsepath.rs:
+crates/estimate/src/params.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/polis_expr-1c6420bf65de4889.d: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_expr-1c6420bf65de4889.rmeta: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs Cargo.toml
+
+crates/expr/src/lib.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/print.rs:
+crates/expr/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

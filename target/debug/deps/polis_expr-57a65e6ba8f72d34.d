@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/polis_expr-57a65e6ba8f72d34.d: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+/root/repo/target/debug/deps/polis_expr-57a65e6ba8f72d34: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/print.rs:
+crates/expr/src/types.rs:

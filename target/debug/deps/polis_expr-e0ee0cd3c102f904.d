@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/polis_expr-e0ee0cd3c102f904.d: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+/root/repo/target/debug/deps/libpolis_expr-e0ee0cd3c102f904.rlib: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+/root/repo/target/debug/deps/libpolis_expr-e0ee0cd3c102f904.rmeta: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/print.rs:
+crates/expr/src/types.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/polis_lang-5803070b3a88bb99.d: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+/root/repo/target/debug/deps/libpolis_lang-5803070b3a88bb99.rlib: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+/root/repo/target/debug/deps/libpolis_lang-5803070b3a88bb99.rmeta: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:

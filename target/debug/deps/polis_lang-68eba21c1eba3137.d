@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/polis_lang-68eba21c1eba3137.d: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+/root/repo/target/debug/deps/polis_lang-68eba21c1eba3137: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:

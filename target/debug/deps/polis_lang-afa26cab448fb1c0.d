@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/polis_lang-afa26cab448fb1c0.d: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_lang-afa26cab448fb1c0.rmeta: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/polis_rtos-4d5335a695897850.d: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+/root/repo/target/debug/deps/libpolis_rtos-4d5335a695897850.rlib: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+/root/repo/target/debug/deps/libpolis_rtos-4d5335a695897850.rmeta: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/gen_c.rs:
+crates/rtos/src/sched.rs:
+crates/rtos/src/sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/polis_rtos-51fe27887c14c4ea.d: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+/root/repo/target/debug/deps/polis_rtos-51fe27887c14c4ea: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/gen_c.rs:
+crates/rtos/src/sched.rs:
+crates/rtos/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/polis_rtos-5d0310930666a9a5.d: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_rtos-5d0310930666a9a5.rmeta: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs Cargo.toml
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/gen_c.rs:
+crates/rtos/src/sched.rs:
+crates/rtos/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

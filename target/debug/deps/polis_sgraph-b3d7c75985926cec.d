@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/polis_sgraph-b3d7c75985926cec.d: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_sgraph-b3d7c75985926cec.rmeta: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs Cargo.toml
+
+crates/sgraph/src/lib.rs:
+crates/sgraph/src/analysis.rs:
+crates/sgraph/src/builder.rs:
+crates/sgraph/src/chain.rs:
+crates/sgraph/src/collapse.rs:
+crates/sgraph/src/cond.rs:
+crates/sgraph/src/eval.rs:
+crates/sgraph/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/polis_vm-25206228634746c7.d: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolis_vm-25206228634746c7.rmeta: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/analyze.rs:
+crates/vm/src/compile.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/inst.rs:
+crates/vm/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/polis_vm-ff8beb68119d8c93.d: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+/root/repo/target/debug/deps/libpolis_vm-ff8beb68119d8c93.rlib: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+/root/repo/target/debug/deps/libpolis_vm-ff8beb68119d8c93.rmeta: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/analyze.rs:
+crates/vm/src/compile.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/inst.rs:
+crates/vm/src/profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-7e2bedb208344c36.d: crates/rtos/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-7e2bedb208344c36.rmeta: crates/rtos/tests/prop.rs Cargo.toml
+
+crates/rtos/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

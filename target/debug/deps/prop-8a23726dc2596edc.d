@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-8a23726dc2596edc.d: crates/rtos/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-8a23726dc2596edc: crates/rtos/tests/prop.rs
+
+crates/rtos/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-8bc3391569b41087.d: crates/bdd/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-8bc3391569b41087: crates/bdd/tests/prop.rs
+
+crates/bdd/tests/prop.rs:

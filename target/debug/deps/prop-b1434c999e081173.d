@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-b1434c999e081173.d: crates/bdd/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-b1434c999e081173.rmeta: crates/bdd/tests/prop.rs Cargo.toml
+
+crates/bdd/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

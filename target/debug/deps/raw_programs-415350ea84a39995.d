@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/raw_programs-415350ea84a39995.d: crates/vm/tests/raw_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libraw_programs-415350ea84a39995.rmeta: crates/vm/tests/raw_programs.rs Cargo.toml
+
+crates/vm/tests/raw_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

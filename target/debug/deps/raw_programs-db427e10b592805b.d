@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raw_programs-db427e10b592805b.d: crates/vm/tests/raw_programs.rs
+
+/root/repo/target/debug/deps/raw_programs-db427e10b592805b: crates/vm/tests/raw_programs.rs
+
+crates/vm/tests/raw_programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-5d7ceab84b539991.d: crates/core/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-5d7ceab84b539991: crates/core/tests/roundtrip.rs
+
+crates/core/tests/roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_prop-7ce669f11873793f.d: crates/rtos/tests/sched_prop.rs
+
+/root/repo/target/debug/deps/sched_prop-7ce669f11873793f: crates/rtos/tests/sched_prop.rs
+
+crates/rtos/tests/sched_prop.rs:

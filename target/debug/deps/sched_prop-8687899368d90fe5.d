@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_prop-8687899368d90fe5.d: crates/rtos/tests/sched_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_prop-8687899368d90fe5.rmeta: crates/rtos/tests/sched_prop.rs Cargo.toml
+
+crates/rtos/tests/sched_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedulability-14d403c15b59e2d4.d: crates/bench/src/bin/schedulability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedulability-14d403c15b59e2d4.rmeta: crates/bench/src/bin/schedulability.rs Cargo.toml
+
+crates/bench/src/bin/schedulability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedulability-44b55165c8cb6ee8.d: crates/bench/src/bin/schedulability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedulability-44b55165c8cb6ee8.rmeta: crates/bench/src/bin/schedulability.rs Cargo.toml
+
+crates/bench/src/bin/schedulability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

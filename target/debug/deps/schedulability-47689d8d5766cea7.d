@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulability-47689d8d5766cea7.d: crates/bench/src/bin/schedulability.rs
+
+/root/repo/target/debug/deps/schedulability-47689d8d5766cea7: crates/bench/src/bin/schedulability.rs
+
+crates/bench/src/bin/schedulability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulability-ddebeccc82cb4672.d: crates/bench/src/bin/schedulability.rs
+
+/root/repo/target/debug/deps/schedulability-ddebeccc82cb4672: crates/bench/src/bin/schedulability.rs
+
+crates/bench/src/bin/schedulability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-343918e70d9cb7af.d: crates/rtos/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-343918e70d9cb7af: crates/rtos/tests/semantics.rs
+
+crates/rtos/tests/semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-621556fcd96f7b1b.d: crates/rtos/tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-621556fcd96f7b1b.rmeta: crates/rtos/tests/semantics.rs Cargo.toml
+
+crates/rtos/tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shock_absorber-413091a273776277.d: crates/bench/src/bin/shock_absorber.rs
+
+/root/repo/target/debug/deps/shock_absorber-413091a273776277: crates/bench/src/bin/shock_absorber.rs
+
+crates/bench/src/bin/shock_absorber.rs:

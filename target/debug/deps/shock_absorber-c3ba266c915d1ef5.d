@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shock_absorber-c3ba266c915d1ef5.d: crates/bench/src/bin/shock_absorber.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshock_absorber-c3ba266c915d1ef5.rmeta: crates/bench/src/bin/shock_absorber.rs Cargo.toml
+
+crates/bench/src/bin/shock_absorber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shock_absorber-de7cc7c46ccb7f80.d: crates/bench/src/bin/shock_absorber.rs
+
+/root/repo/target/debug/deps/shock_absorber-de7cc7c46ccb7f80: crates/bench/src/bin/shock_absorber.rs
+
+crates/bench/src/bin/shock_absorber.rs:

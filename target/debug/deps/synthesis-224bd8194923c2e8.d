@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synthesis-224bd8194923c2e8.d: crates/bench/benches/synthesis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynthesis-224bd8194923c2e8.rmeta: crates/bench/benches/synthesis.rs Cargo.toml
+
+crates/bench/benches/synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4ffcec3aa21a4445.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4ffcec3aa21a4445: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-57f144f70cc951dd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-57f144f70cc951dd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ad62e0c0a9f1392a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ad62e0c0a9f1392a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

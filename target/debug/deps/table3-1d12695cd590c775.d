@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-1d12695cd590c775.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-1d12695cd590c775: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-51c1082d632c47ef.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-51c1082d632c47ef: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1-5bc2d7ef334524d2.d: crates/sgraph/tests/theorem1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1-5bc2d7ef334524d2.rmeta: crates/sgraph/tests/theorem1.rs Cargo.toml
+
+crates/sgraph/tests/theorem1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-92c397bdc9129b7e.d: crates/sgraph/tests/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-92c397bdc9129b7e: crates/sgraph/tests/theorem1.rs
+
+crates/sgraph/tests/theorem1.rs:

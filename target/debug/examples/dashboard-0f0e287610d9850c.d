@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dashboard-0f0e287610d9850c.d: examples/dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdashboard-0f0e287610d9850c.rmeta: examples/dashboard.rs Cargo.toml
+
+examples/dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dashboard-752690c7560710b2.d: examples/dashboard.rs
+
+/root/repo/target/debug/examples/dashboard-752690c7560710b2: examples/dashboard.rs
+
+examples/dashboard.rs:

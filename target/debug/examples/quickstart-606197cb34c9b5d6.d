@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-606197cb34c9b5d6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-606197cb34c9b5d6: examples/quickstart.rs
+
+examples/quickstart.rs:

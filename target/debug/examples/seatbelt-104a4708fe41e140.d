@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/seatbelt-104a4708fe41e140.d: examples/seatbelt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseatbelt-104a4708fe41e140.rmeta: examples/seatbelt.rs Cargo.toml
+
+examples/seatbelt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seatbelt-6b3db6fb65651576.d: examples/seatbelt.rs
+
+/root/repo/target/debug/examples/seatbelt-6b3db6fb65651576: examples/seatbelt.rs
+
+examples/seatbelt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shock_absorber-3b353d745499d309.d: examples/shock_absorber.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshock_absorber-3b353d745499d309.rmeta: examples/shock_absorber.rs Cargo.toml
+
+examples/shock_absorber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shock_absorber-d92ca2ce125d159f.d: examples/shock_absorber.rs
+
+/root/repo/target/debug/examples/shock_absorber-d92ca2ce125d159f: examples/shock_absorber.rs
+
+examples/shock_absorber.rs:

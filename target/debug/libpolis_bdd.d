@@ -1,0 +1,1 @@
+/root/repo/target/debug/libpolis_bdd.rlib: /root/repo/crates/bdd/src/encode.rs /root/repo/crates/bdd/src/lib.rs /root/repo/crates/bdd/src/reorder.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libpolis_expr.rlib: /root/repo/crates/expr/src/eval.rs /root/repo/crates/expr/src/lib.rs /root/repo/crates/expr/src/print.rs /root/repo/crates/expr/src/types.rs

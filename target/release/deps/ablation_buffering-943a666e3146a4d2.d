@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_buffering-943a666e3146a4d2.d: crates/bench/src/bin/ablation_buffering.rs
+
+/root/repo/target/release/deps/ablation_buffering-943a666e3146a4d2: crates/bench/src/bin/ablation_buffering.rs
+
+crates/bench/src/bin/ablation_buffering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_buffering-dfcbd7e6084e3e19.d: crates/bench/src/bin/ablation_buffering.rs
+
+/root/repo/target/release/deps/ablation_buffering-dfcbd7e6084e3e19: crates/bench/src/bin/ablation_buffering.rs
+
+crates/bench/src/bin/ablation_buffering.rs:

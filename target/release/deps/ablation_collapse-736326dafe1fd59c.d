@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_collapse-736326dafe1fd59c.d: crates/bench/src/bin/ablation_collapse.rs
+
+/root/repo/target/release/deps/ablation_collapse-736326dafe1fd59c: crates/bench/src/bin/ablation_collapse.rs
+
+crates/bench/src/bin/ablation_collapse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_collapse-a2f0042bb8543540.d: crates/bench/src/bin/ablation_collapse.rs
+
+/root/repo/target/release/deps/ablation_collapse-a2f0042bb8543540: crates/bench/src/bin/ablation_collapse.rs
+
+crates/bench/src/bin/ablation_collapse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bdd_ops-d1f7b24455d3930e.d: crates/bench/benches/bdd_ops.rs
+
+/root/repo/target/release/deps/bdd_ops-d1f7b24455d3930e: crates/bench/benches/bdd_ops.rs
+
+crates/bench/benches/bdd_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/execution-1238b313fdad561c.d: crates/bench/benches/execution.rs
+
+/root/repo/target/release/deps/execution-1238b313fdad561c: crates/bench/benches/execution.rs
+
+crates/bench/benches/execution.rs:

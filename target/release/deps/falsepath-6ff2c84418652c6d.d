@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/falsepath-6ff2c84418652c6d.d: crates/bench/src/bin/falsepath.rs
+
+/root/repo/target/release/deps/falsepath-6ff2c84418652c6d: crates/bench/src/bin/falsepath.rs
+
+crates/bench/src/bin/falsepath.rs:

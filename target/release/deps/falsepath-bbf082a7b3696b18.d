@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/falsepath-bbf082a7b3696b18.d: crates/bench/src/bin/falsepath.rs
+
+/root/repo/target/release/deps/falsepath-bbf082a7b3696b18: crates/bench/src/bin/falsepath.rs
+
+crates/bench/src/bin/falsepath.rs:

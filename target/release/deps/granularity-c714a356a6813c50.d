@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/granularity-c714a356a6813c50.d: crates/bench/src/bin/granularity.rs
+
+/root/repo/target/release/deps/granularity-c714a356a6813c50: crates/bench/src/bin/granularity.rs
+
+crates/bench/src/bin/granularity.rs:

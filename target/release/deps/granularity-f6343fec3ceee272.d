@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/granularity-f6343fec3ceee272.d: crates/bench/src/bin/granularity.rs
+
+/root/repo/target/release/deps/granularity-f6343fec3ceee272: crates/bench/src/bin/granularity.rs
+
+crates/bench/src/bin/granularity.rs:

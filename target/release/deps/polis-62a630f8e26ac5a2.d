@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/polis-62a630f8e26ac5a2.d: src/lib.rs
+
+/root/repo/target/release/deps/libpolis-62a630f8e26ac5a2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpolis-62a630f8e26ac5a2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/polis-ac1022c5346ae36a.d: src/bin/polis.rs
+
+/root/repo/target/release/deps/polis-ac1022c5346ae36a: src/bin/polis.rs
+
+src/bin/polis.rs:

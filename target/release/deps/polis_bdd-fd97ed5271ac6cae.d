@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/polis_bdd-fd97ed5271ac6cae.d: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/release/deps/libpolis_bdd-fd97ed5271ac6cae.rlib: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/release/deps/libpolis_bdd-fd97ed5271ac6cae.rmeta: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/encode.rs:
+crates/bdd/src/reorder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/polis_bench-376bf1e203736037.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/polis_bench-376bf1e203736037: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/polis_bench-b31ac97aa6647ed8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpolis_bench-b31ac97aa6647ed8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpolis_bench-b31ac97aa6647ed8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

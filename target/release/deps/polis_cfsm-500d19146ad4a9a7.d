@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/polis_cfsm-500d19146ad4a9a7.d: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs
+
+/root/repo/target/release/deps/libpolis_cfsm-500d19146ad4a9a7.rlib: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs
+
+/root/repo/target/release/deps/libpolis_cfsm-500d19146ad4a9a7.rmeta: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs
+
+crates/cfsm/src/lib.rs:
+crates/cfsm/src/chi.rs:
+crates/cfsm/src/compose.rs:
+crates/cfsm/src/machine.rs:
+crates/cfsm/src/network.rs:
+crates/cfsm/src/signal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/polis_codegen-10175ec2aa39f95e.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+/root/repo/target/release/deps/libpolis_codegen-10175ec2aa39f95e.rlib: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+/root/repo/target/release/deps/libpolis_codegen-10175ec2aa39f95e.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/two_level.rs:

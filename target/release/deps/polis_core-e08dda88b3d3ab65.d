@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/polis_core-e08dda88b3d3ab65.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs
+
+/root/repo/target/release/deps/libpolis_core-e08dda88b3d3ab65.rlib: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs
+
+/root/repo/target/release/deps/libpolis_core-e08dda88b3d3ab65.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/random.rs:
+crates/core/src/trace.rs:
+crates/core/src/workloads.rs:

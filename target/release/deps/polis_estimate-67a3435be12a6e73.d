@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/polis_estimate-67a3435be12a6e73.d: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+/root/repo/target/release/deps/libpolis_estimate-67a3435be12a6e73.rlib: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+/root/repo/target/release/deps/libpolis_estimate-67a3435be12a6e73.rmeta: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/calibrate.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/falsepath.rs:
+crates/estimate/src/params.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/polis_expr-8698ccbb81139356.d: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+/root/repo/target/release/deps/libpolis_expr-8698ccbb81139356.rlib: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+/root/repo/target/release/deps/libpolis_expr-8698ccbb81139356.rmeta: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/print.rs:
+crates/expr/src/types.rs:

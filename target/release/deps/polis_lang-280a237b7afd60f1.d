@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/polis_lang-280a237b7afd60f1.d: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+/root/repo/target/release/deps/libpolis_lang-280a237b7afd60f1.rlib: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+/root/repo/target/release/deps/libpolis_lang-280a237b7afd60f1.rmeta: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/polis_rtos-274d1c9e0bfa49a4.d: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+/root/repo/target/release/deps/libpolis_rtos-274d1c9e0bfa49a4.rlib: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+/root/repo/target/release/deps/libpolis_rtos-274d1c9e0bfa49a4.rmeta: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/gen_c.rs:
+crates/rtos/src/sched.rs:
+crates/rtos/src/sim.rs:

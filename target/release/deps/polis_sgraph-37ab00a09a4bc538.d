@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/polis_sgraph-37ab00a09a4bc538.d: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs
+
+/root/repo/target/release/deps/libpolis_sgraph-37ab00a09a4bc538.rlib: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs
+
+/root/repo/target/release/deps/libpolis_sgraph-37ab00a09a4bc538.rmeta: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs
+
+crates/sgraph/src/lib.rs:
+crates/sgraph/src/analysis.rs:
+crates/sgraph/src/builder.rs:
+crates/sgraph/src/chain.rs:
+crates/sgraph/src/collapse.rs:
+crates/sgraph/src/cond.rs:
+crates/sgraph/src/eval.rs:
+crates/sgraph/src/graph.rs:

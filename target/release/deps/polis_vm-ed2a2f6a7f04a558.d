@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/polis_vm-ed2a2f6a7f04a558.d: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+/root/repo/target/release/deps/libpolis_vm-ed2a2f6a7f04a558.rlib: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+/root/repo/target/release/deps/libpolis_vm-ed2a2f6a7f04a558.rmeta: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/analyze.rs:
+crates/vm/src/compile.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/inst.rs:
+crates/vm/src/profile.rs:

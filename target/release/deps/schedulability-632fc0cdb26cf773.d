@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedulability-632fc0cdb26cf773.d: crates/bench/src/bin/schedulability.rs
+
+/root/repo/target/release/deps/schedulability-632fc0cdb26cf773: crates/bench/src/bin/schedulability.rs
+
+crates/bench/src/bin/schedulability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedulability-8a5eb35d06f5c69b.d: crates/bench/src/bin/schedulability.rs
+
+/root/repo/target/release/deps/schedulability-8a5eb35d06f5c69b: crates/bench/src/bin/schedulability.rs
+
+crates/bench/src/bin/schedulability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shock_absorber-122d77d25c45cbc0.d: crates/bench/src/bin/shock_absorber.rs
+
+/root/repo/target/release/deps/shock_absorber-122d77d25c45cbc0: crates/bench/src/bin/shock_absorber.rs
+
+crates/bench/src/bin/shock_absorber.rs:

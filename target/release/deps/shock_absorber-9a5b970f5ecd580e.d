@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shock_absorber-9a5b970f5ecd580e.d: crates/bench/src/bin/shock_absorber.rs
+
+/root/repo/target/release/deps/shock_absorber-9a5b970f5ecd580e: crates/bench/src/bin/shock_absorber.rs
+
+crates/bench/src/bin/shock_absorber.rs:

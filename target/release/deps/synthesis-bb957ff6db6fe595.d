@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/synthesis-bb957ff6db6fe595.d: crates/bench/benches/synthesis.rs
+
+/root/repo/target/release/deps/synthesis-bb957ff6db6fe595: crates/bench/benches/synthesis.rs
+
+crates/bench/benches/synthesis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d5984dd45f1bfc78.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d5984dd45f1bfc78: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f243190e93a4a6d4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f243190e93a4a6d4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-8c23ffdd663ac682.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-8c23ffdd663ac682: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-8d29f2850111123a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-8d29f2850111123a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

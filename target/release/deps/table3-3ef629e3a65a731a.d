@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-3ef629e3a65a731a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-3ef629e3a65a731a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

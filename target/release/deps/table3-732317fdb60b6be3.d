@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-732317fdb60b6be3.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-732317fdb60b6be3: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -58,7 +58,8 @@ fn styles_agree_behaviourally_on_dashboard_machines() {
             for (k, g) in graphs.iter().enumerate() {
                 let got = execute(m, g, &present, &vals, &st_g[k]).unwrap();
                 assert_eq!(
-                    got.fired, want.fired,
+                    got.fired,
+                    want.fired,
                     "{} style {:?} step {step}",
                     m.name(),
                     styles[k]

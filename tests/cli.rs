@@ -43,7 +43,11 @@ fn synth_writes_c_files_and_cost_table() {
         .arg(dir.join("gen"))
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pinger"));
     assert!(stdout.contains("total ROM"));
@@ -74,7 +78,11 @@ fn sim_runs_a_stimulus_file() {
         .args(["sim", &spec, "--stim", &stim])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.matches("ping ").count(), 2, "{stdout}");
     assert_eq!(stdout.matches("pong ").count(), 2, "{stdout}");
@@ -111,6 +119,58 @@ fn fmt_normalizes_and_roundtrips() {
 }
 
 #[test]
+fn synth_jobs_is_deterministic_and_trace_is_written() {
+    let dir = tmpdir("jobs");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let run = |jobs: &str, sub: &str| -> std::path::PathBuf {
+        let gen = dir.join(sub);
+        let trace = gen.join("trace.json");
+        std::fs::create_dir_all(&gen).unwrap();
+        let out = bin()
+            .args(["synth", &spec, "--jobs", jobs, "-o"])
+            .arg(&gen)
+            .arg("--trace")
+            .arg(&trace)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        gen
+    };
+    let g1 = run("1", "gen1");
+    let g4 = run("4", "gen4");
+    // Byte-identical generated sources regardless of --jobs.
+    for f in ["rtos.c", "pinger.c", "ponger.c", "polis_rtos.h"] {
+        let a = std::fs::read(g1.join(f)).unwrap();
+        let b = std::fs::read(g4.join(f)).unwrap();
+        assert_eq!(a, b, "{f} differs between --jobs 1 and --jobs 4");
+    }
+    // The trace is JSON with the expected stages, parse first.
+    let trace = std::fs::read_to_string(g1.join("trace.json")).unwrap();
+    assert!(trace.starts_with('{'), "{trace}");
+    for stage in [
+        "parse", "chi", "sift", "sgraph", "compile", "emit_c", "estimate", "measure", "rtos",
+    ] {
+        assert!(
+            trace.contains(&format!("\"stage\": \"{stage}\"")),
+            "missing {stage}: {trace}"
+        );
+    }
+    assert!(trace.contains("\"machine\": \"pinger\""));
+    assert!(trace.contains("\"wall_us\":"));
+
+    // A bad jobs value is rejected.
+    let bad = bin()
+        .args(["synth", &spec, "--jobs", "0"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}
+
+#[test]
 fn errors_are_reported_with_positions() {
     let dir = tmpdir("err");
     let spec = write(&dir, "bad.pol", "module m {\n  input $;\n}");
@@ -134,7 +194,11 @@ fn style_and_target_flags_change_output() {
             .args(extra)
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout).into_owned()
     };
     let dg = run(&[]);
