@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffering-2bc0ef5f2f19c6fb.d: crates/bench/src/bin/ablation_buffering.rs
+
+/root/repo/target/debug/deps/libablation_buffering-2bc0ef5f2f19c6fb.rmeta: crates/bench/src/bin/ablation_buffering.rs
+
+crates/bench/src/bin/ablation_buffering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffering-b00164b92f42f2c8.d: crates/bench/src/bin/ablation_buffering.rs
+
+/root/repo/target/debug/deps/libablation_buffering-b00164b92f42f2c8.rmeta: crates/bench/src/bin/ablation_buffering.rs
+
+crates/bench/src/bin/ablation_buffering.rs:

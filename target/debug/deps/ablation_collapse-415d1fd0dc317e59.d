@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_collapse-415d1fd0dc317e59.d: crates/bench/src/bin/ablation_collapse.rs
+
+/root/repo/target/debug/deps/libablation_collapse-415d1fd0dc317e59.rmeta: crates/bench/src/bin/ablation_collapse.rs
+
+crates/bench/src/bin/ablation_collapse.rs:

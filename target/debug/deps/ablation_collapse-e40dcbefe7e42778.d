@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_collapse-e40dcbefe7e42778.d: crates/bench/src/bin/ablation_collapse.rs
+
+/root/repo/target/debug/deps/libablation_collapse-e40dcbefe7e42778.rmeta: crates/bench/src/bin/ablation_collapse.rs
+
+crates/bench/src/bin/ablation_collapse.rs:

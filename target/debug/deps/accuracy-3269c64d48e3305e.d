@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-3269c64d48e3305e.d: crates/estimate/tests/accuracy.rs
+
+/root/repo/target/debug/deps/libaccuracy-3269c64d48e3305e.rmeta: crates/estimate/tests/accuracy.rs
+
+crates/estimate/tests/accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-0198469c7497dffd.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/libbaselines-0198469c7497dffd.rmeta: tests/baselines.rs
+
+tests/baselines.rs:

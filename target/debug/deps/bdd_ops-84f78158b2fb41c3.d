@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdd_ops-84f78158b2fb41c3.d: crates/bench/benches/bdd_ops.rs
+
+/root/repo/target/debug/deps/libbdd_ops-84f78158b2fb41c3.rmeta: crates/bench/benches/bdd_ops.rs
+
+crates/bench/benches/bdd_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c_structure-f377203c3d432f24.d: crates/codegen/tests/c_structure.rs
+
+/root/repo/target/debug/deps/libc_structure-f377203c3d432f24.rmeta: crates/codegen/tests/c_structure.rs
+
+crates/codegen/tests/c_structure.rs:

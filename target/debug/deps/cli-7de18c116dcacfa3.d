@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-7de18c116dcacfa3.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-7de18c116dcacfa3.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_polis=placeholder:polis

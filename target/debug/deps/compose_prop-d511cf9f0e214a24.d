@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compose_prop-d511cf9f0e214a24.d: crates/cfsm/tests/compose_prop.rs
+
+/root/repo/target/debug/deps/libcompose_prop-d511cf9f0e214a24.rmeta: crates/cfsm/tests/compose_prop.rs
+
+crates/cfsm/tests/compose_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equiv-ba4ae30a2d1aa9f8.d: crates/vm/tests/equiv.rs
+
+/root/repo/target/debug/deps/libequiv-ba4ae30a2d1aa9f8.rmeta: crates/vm/tests/equiv.rs
+
+crates/vm/tests/equiv.rs:

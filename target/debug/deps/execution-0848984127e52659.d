@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/execution-0848984127e52659.d: crates/bench/benches/execution.rs
+
+/root/repo/target/debug/deps/libexecution-0848984127e52659.rmeta: crates/bench/benches/execution.rs
+
+crates/bench/benches/execution.rs:

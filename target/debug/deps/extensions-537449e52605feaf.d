@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-537449e52605feaf.d: crates/rtos/tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-537449e52605feaf.rmeta: crates/rtos/tests/extensions.rs
+
+crates/rtos/tests/extensions.rs:

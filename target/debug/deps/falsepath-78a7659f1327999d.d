@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/falsepath-78a7659f1327999d.d: crates/bench/src/bin/falsepath.rs
+
+/root/repo/target/debug/deps/libfalsepath-78a7659f1327999d.rmeta: crates/bench/src/bin/falsepath.rs
+
+crates/bench/src/bin/falsepath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/falsepath-8097f6b830a07000.d: crates/bench/src/bin/falsepath.rs
+
+/root/repo/target/debug/deps/libfalsepath-8097f6b830a07000.rmeta: crates/bench/src/bin/falsepath.rs
+
+crates/bench/src/bin/falsepath.rs:

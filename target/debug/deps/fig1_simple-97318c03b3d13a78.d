@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_simple-97318c03b3d13a78.d: tests/fig1_simple.rs
+
+/root/repo/target/debug/deps/libfig1_simple-97318c03b3d13a78.rmeta: tests/fig1_simple.rs
+
+tests/fig1_simple.rs:

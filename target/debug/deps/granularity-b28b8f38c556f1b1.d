@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-b28b8f38c556f1b1.d: crates/bench/src/bin/granularity.rs
+
+/root/repo/target/debug/deps/libgranularity-b28b8f38c556f1b1.rmeta: crates/bench/src/bin/granularity.rs
+
+crates/bench/src/bin/granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/granularity-e3a4eb4e1091b515.d: crates/bench/src/bin/granularity.rs
+
+/root/repo/target/debug/deps/libgranularity-e3a4eb4e1091b515.rmeta: crates/bench/src/bin/granularity.rs
+
+crates/bench/src/bin/granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-fe7676c0b0e31c72.d: crates/core/tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-fe7676c0b0e31c72.rmeta: crates/core/tests/pipeline.rs
+
+crates/core/tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis-124b10342e3904e5.d: src/bin/polis.rs
+
+/root/repo/target/debug/deps/libpolis-124b10342e3904e5.rmeta: src/bin/polis.rs
+
+src/bin/polis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis-33dbf2ef60acc08a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpolis-33dbf2ef60acc08a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis-96330cbebb16738a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpolis-96330cbebb16738a.rmeta: src/lib.rs
+
+src/lib.rs:

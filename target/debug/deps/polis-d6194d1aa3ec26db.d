@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis-d6194d1aa3ec26db.d: src/bin/polis.rs
+
+/root/repo/target/debug/deps/libpolis-d6194d1aa3ec26db.rmeta: src/bin/polis.rs
+
+src/bin/polis.rs:

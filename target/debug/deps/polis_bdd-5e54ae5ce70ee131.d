@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/polis_bdd-5e54ae5ce70ee131.d: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/debug/deps/libpolis_bdd-5e54ae5ce70ee131.rmeta: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/encode.rs:
+crates/bdd/src/reorder.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/polis_bdd-c9f3e5b70194fbc9.d: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+/root/repo/target/debug/deps/libpolis_bdd-c9f3e5b70194fbc9.rmeta: crates/bdd/src/lib.rs crates/bdd/src/encode.rs crates/bdd/src/reorder.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/encode.rs:
+crates/bdd/src/reorder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis_bench-120e089c31f00a03.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpolis_bench-120e089c31f00a03.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

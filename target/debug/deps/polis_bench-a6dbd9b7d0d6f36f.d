@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/polis_bench-a6dbd9b7d0d6f36f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpolis_bench-a6dbd9b7d0d6f36f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

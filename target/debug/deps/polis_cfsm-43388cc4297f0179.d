@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/polis_cfsm-43388cc4297f0179.d: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs
+
+/root/repo/target/debug/deps/libpolis_cfsm-43388cc4297f0179.rmeta: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs
+
+crates/cfsm/src/lib.rs:
+crates/cfsm/src/chi.rs:
+crates/cfsm/src/compose.rs:
+crates/cfsm/src/machine.rs:
+crates/cfsm/src/network.rs:
+crates/cfsm/src/signal.rs:

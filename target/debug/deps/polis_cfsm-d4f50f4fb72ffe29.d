@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/polis_cfsm-d4f50f4fb72ffe29.d: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs
+
+/root/repo/target/debug/deps/libpolis_cfsm-d4f50f4fb72ffe29.rmeta: crates/cfsm/src/lib.rs crates/cfsm/src/chi.rs crates/cfsm/src/compose.rs crates/cfsm/src/machine.rs crates/cfsm/src/network.rs crates/cfsm/src/signal.rs
+
+crates/cfsm/src/lib.rs:
+crates/cfsm/src/chi.rs:
+crates/cfsm/src/compose.rs:
+crates/cfsm/src/machine.rs:
+crates/cfsm/src/network.rs:
+crates/cfsm/src/signal.rs:

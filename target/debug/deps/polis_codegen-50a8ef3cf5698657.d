@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/polis_codegen-50a8ef3cf5698657.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+/root/repo/target/debug/deps/libpolis_codegen-50a8ef3cf5698657.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/two_level.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/polis_codegen-c6dea24fc982a8c7.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+/root/repo/target/debug/deps/libpolis_codegen-c6dea24fc982a8c7.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/two_level.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/two_level.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis_core-33b77085569fea45.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs
+
+/root/repo/target/debug/deps/libpolis_core-33b77085569fea45.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/random.rs crates/core/src/trace.rs crates/core/src/workloads.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/random.rs:
+crates/core/src/trace.rs:
+crates/core/src/workloads.rs:

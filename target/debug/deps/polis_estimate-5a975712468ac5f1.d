@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis_estimate-5a975712468ac5f1.d: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+/root/repo/target/debug/deps/libpolis_estimate-5a975712468ac5f1.rmeta: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/calibrate.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/falsepath.rs:
+crates/estimate/src/params.rs:

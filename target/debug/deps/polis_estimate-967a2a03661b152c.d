@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polis_estimate-967a2a03661b152c.d: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+/root/repo/target/debug/deps/libpolis_estimate-967a2a03661b152c.rmeta: crates/estimate/src/lib.rs crates/estimate/src/calibrate.rs crates/estimate/src/cost.rs crates/estimate/src/falsepath.rs crates/estimate/src/params.rs
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/calibrate.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/falsepath.rs:
+crates/estimate/src/params.rs:

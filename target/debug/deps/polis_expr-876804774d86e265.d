@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/polis_expr-876804774d86e265.d: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+/root/repo/target/debug/deps/libpolis_expr-876804774d86e265.rmeta: crates/expr/src/lib.rs crates/expr/src/eval.rs crates/expr/src/print.rs crates/expr/src/types.rs
+
+crates/expr/src/lib.rs:
+crates/expr/src/eval.rs:
+crates/expr/src/print.rs:
+crates/expr/src/types.rs:

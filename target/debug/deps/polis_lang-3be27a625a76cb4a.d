@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/polis_lang-3be27a625a76cb4a.d: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+/root/repo/target/debug/deps/libpolis_lang-3be27a625a76cb4a.rmeta: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:

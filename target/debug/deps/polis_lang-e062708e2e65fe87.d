@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/polis_lang-e062708e2e65fe87.d: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+/root/repo/target/debug/deps/libpolis_lang-e062708e2e65fe87.rmeta: crates/lang/src/lib.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/polis_rtos-768c5cacde0d2a8b.d: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+/root/repo/target/debug/deps/libpolis_rtos-768c5cacde0d2a8b.rmeta: crates/rtos/src/lib.rs crates/rtos/src/gen_c.rs crates/rtos/src/sched.rs crates/rtos/src/sim.rs
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/gen_c.rs:
+crates/rtos/src/sched.rs:
+crates/rtos/src/sim.rs:

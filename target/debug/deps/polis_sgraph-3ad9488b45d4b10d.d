@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/polis_sgraph-3ad9488b45d4b10d.d: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs
+
+/root/repo/target/debug/deps/libpolis_sgraph-3ad9488b45d4b10d.rmeta: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs
+
+crates/sgraph/src/lib.rs:
+crates/sgraph/src/analysis.rs:
+crates/sgraph/src/builder.rs:
+crates/sgraph/src/chain.rs:
+crates/sgraph/src/collapse.rs:
+crates/sgraph/src/cond.rs:
+crates/sgraph/src/eval.rs:
+crates/sgraph/src/graph.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/polis_sgraph-adf28cda584d9141.d: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs
+
+/root/repo/target/debug/deps/libpolis_sgraph-adf28cda584d9141.rmeta: crates/sgraph/src/lib.rs crates/sgraph/src/analysis.rs crates/sgraph/src/builder.rs crates/sgraph/src/chain.rs crates/sgraph/src/collapse.rs crates/sgraph/src/cond.rs crates/sgraph/src/eval.rs crates/sgraph/src/graph.rs
+
+crates/sgraph/src/lib.rs:
+crates/sgraph/src/analysis.rs:
+crates/sgraph/src/builder.rs:
+crates/sgraph/src/chain.rs:
+crates/sgraph/src/collapse.rs:
+crates/sgraph/src/cond.rs:
+crates/sgraph/src/eval.rs:
+crates/sgraph/src/graph.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/polis_vm-01a678b7dbdf5a58.d: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+/root/repo/target/debug/deps/libpolis_vm-01a678b7dbdf5a58.rmeta: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/analyze.rs:
+crates/vm/src/compile.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/inst.rs:
+crates/vm/src/profile.rs:

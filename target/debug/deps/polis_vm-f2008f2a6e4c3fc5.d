@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/polis_vm-f2008f2a6e4c3fc5.d: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+/root/repo/target/debug/deps/libpolis_vm-f2008f2a6e4c3fc5.rmeta: crates/vm/src/lib.rs crates/vm/src/analyze.rs crates/vm/src/compile.rs crates/vm/src/exec.rs crates/vm/src/inst.rs crates/vm/src/profile.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/analyze.rs:
+crates/vm/src/compile.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/inst.rs:
+crates/vm/src/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-9570fdf74902874b.d: crates/bdd/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-9570fdf74902874b.rmeta: crates/bdd/tests/prop.rs
+
+crates/bdd/tests/prop.rs:

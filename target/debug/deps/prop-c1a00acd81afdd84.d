@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c1a00acd81afdd84.d: crates/rtos/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-c1a00acd81afdd84.rmeta: crates/rtos/tests/prop.rs
+
+crates/rtos/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raw_programs-7d7a1e7861df7920.d: crates/vm/tests/raw_programs.rs
+
+/root/repo/target/debug/deps/libraw_programs-7d7a1e7861df7920.rmeta: crates/vm/tests/raw_programs.rs
+
+crates/vm/tests/raw_programs.rs:

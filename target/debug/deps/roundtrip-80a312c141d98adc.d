@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-80a312c141d98adc.d: crates/core/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/libroundtrip-80a312c141d98adc.rmeta: crates/core/tests/roundtrip.rs
+
+crates/core/tests/roundtrip.rs:

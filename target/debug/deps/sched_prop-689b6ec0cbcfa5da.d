@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_prop-689b6ec0cbcfa5da.d: crates/rtos/tests/sched_prop.rs
+
+/root/repo/target/debug/deps/libsched_prop-689b6ec0cbcfa5da.rmeta: crates/rtos/tests/sched_prop.rs
+
+crates/rtos/tests/sched_prop.rs:

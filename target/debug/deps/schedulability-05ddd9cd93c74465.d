@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulability-05ddd9cd93c74465.d: crates/bench/src/bin/schedulability.rs
+
+/root/repo/target/debug/deps/libschedulability-05ddd9cd93c74465.rmeta: crates/bench/src/bin/schedulability.rs
+
+crates/bench/src/bin/schedulability.rs:

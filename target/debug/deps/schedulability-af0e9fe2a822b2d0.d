@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulability-af0e9fe2a822b2d0.d: crates/bench/src/bin/schedulability.rs
+
+/root/repo/target/debug/deps/libschedulability-af0e9fe2a822b2d0.rmeta: crates/bench/src/bin/schedulability.rs
+
+crates/bench/src/bin/schedulability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-244ffd77434c391d.d: crates/rtos/tests/semantics.rs
+
+/root/repo/target/debug/deps/libsemantics-244ffd77434c391d.rmeta: crates/rtos/tests/semantics.rs
+
+crates/rtos/tests/semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shock_absorber-0b8b9219057f431c.d: crates/bench/src/bin/shock_absorber.rs
+
+/root/repo/target/debug/deps/libshock_absorber-0b8b9219057f431c.rmeta: crates/bench/src/bin/shock_absorber.rs
+
+crates/bench/src/bin/shock_absorber.rs:

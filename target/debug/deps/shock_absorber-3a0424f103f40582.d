@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shock_absorber-3a0424f103f40582.d: crates/bench/src/bin/shock_absorber.rs
+
+/root/repo/target/debug/deps/libshock_absorber-3a0424f103f40582.rmeta: crates/bench/src/bin/shock_absorber.rs
+
+crates/bench/src/bin/shock_absorber.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synthesis-32a7f02cb3334782.d: crates/bench/benches/synthesis.rs
+
+/root/repo/target/debug/deps/libsynthesis-32a7f02cb3334782.rmeta: crates/bench/benches/synthesis.rs
+
+crates/bench/benches/synthesis.rs:

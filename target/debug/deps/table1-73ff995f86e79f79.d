@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-73ff995f86e79f79.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-73ff995f86e79f79.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

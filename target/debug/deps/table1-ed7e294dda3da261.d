@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ed7e294dda3da261.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-ed7e294dda3da261.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

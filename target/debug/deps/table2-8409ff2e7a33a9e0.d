@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8409ff2e7a33a9e0.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-8409ff2e7a33a9e0.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

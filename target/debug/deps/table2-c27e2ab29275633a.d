@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c27e2ab29275633a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-c27e2ab29275633a.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

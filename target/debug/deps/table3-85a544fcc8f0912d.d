@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-85a544fcc8f0912d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-85a544fcc8f0912d.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ef3dc2643d2c71ea.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-ef3dc2643d2c71ea.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-4cf64f6a8f590bb7.d: crates/sgraph/tests/theorem1.rs
+
+/root/repo/target/debug/deps/libtheorem1-4cf64f6a8f590bb7.rmeta: crates/sgraph/tests/theorem1.rs
+
+crates/sgraph/tests/theorem1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dashboard-a86e745d4ab9dec2.d: examples/dashboard.rs
+
+/root/repo/target/debug/examples/libdashboard-a86e745d4ab9dec2.rmeta: examples/dashboard.rs
+
+examples/dashboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-93ca9abe562ceec0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-93ca9abe562ceec0.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

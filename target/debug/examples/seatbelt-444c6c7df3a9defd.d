@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seatbelt-444c6c7df3a9defd.d: examples/seatbelt.rs
+
+/root/repo/target/debug/examples/libseatbelt-444c6c7df3a9defd.rmeta: examples/seatbelt.rs
+
+examples/seatbelt.rs:

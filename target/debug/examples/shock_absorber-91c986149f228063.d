@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shock_absorber-91c986149f228063.d: examples/shock_absorber.rs
+
+/root/repo/target/debug/examples/libshock_absorber-91c986149f228063.rmeta: examples/shock_absorber.rs
+
+examples/shock_absorber.rs:
