@@ -13,13 +13,34 @@
 //! * a [`Bdd`] manager with hash-consed nodes, an ITE operation cache, and
 //!   the usual Boolean operations ([`Bdd::and`], [`Bdd::or`], [`Bdd::not`],
 //!   [`Bdd::xor`], [`Bdd::ite`], ...);
-//! * cofactor/restriction ([`Bdd::restrict`]) and smoothing / existential
-//!   quantification ([`Bdd::exists`]) used to build characteristic functions
-//!   (Section II-C);
+//! * cofactor/restriction ([`Bdd::restrict`], [`Bdd::cofactors`]) and
+//!   smoothing / existential quantification ([`Bdd::exists`]) used to build
+//!   characteristic functions (Section II-C);
 //! * mark-and-sweep garbage collection ([`Bdd::gc`]);
 //! * in-place adjacent level swap and constrained sifting
 //!   ([`Bdd::sift`], see the [`reorder`] module);
 //! * multi-bit encodings of bounded-integer variables ([`encode`]).
+//!
+//! # Storage layer
+//!
+//! The kernel uses CUDD-style storage rather than the standard-library maps:
+//!
+//! * per-variable **open-addressing unique tables** (power-of-two capacity,
+//!   linear probing, splitmix64-mixed keys, tombstone-free backward-shift
+//!   deletion) for hash-consing;
+//! * a single **direct-mapped lossy operation cache** shared by ITE and the
+//!   cofactor/quantification memos, invalidated in O(1) by bumping a
+//!   generation counter (no rehash on reorder);
+//! * a reusable **stamp buffer** for traversals (`size`, `support`, `gc`)
+//!   so marking needs no per-call set allocation;
+//! * **reference-count node reclamation** during sifting, so adjacent level
+//!   swaps recycle dead slots through a free-list instead of growing the
+//!   arena monotonically.
+//!
+//! Determinism: node indices depend only on the sequence of operations
+//! performed on the manager — there is no randomized hashing and no
+//! iteration over randomized containers — so a fixed call sequence yields
+//! bit-identical results across runs and platforms.
 //!
 //! # Examples
 //!
@@ -39,6 +60,7 @@
 pub mod encode;
 pub mod reorder;
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -97,12 +119,398 @@ const TERMINAL_VAR: u32 = u32::MAX;
 /// Level assigned to terminals: below every variable.
 const TERMINAL_LEVEL: u32 = u32::MAX;
 
+/// Sentinel marking a vacant unique-table or cache slot. Never a real node:
+/// the arena is indexed by `u32` handles and would overflow memory long
+/// before reaching `u32::MAX` entries.
+const EMPTY: NodeRef = NodeRef(u32::MAX);
+
+/// The splitmix64 finalizer, mirroring `polis-core::random`'s mixer
+/// (inlined here: `polis-core` depends on this crate, so it cannot be a
+/// runtime dependency). Used to spread unique-table and cache keys.
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Node {
     var: u32,
     lo: NodeRef,
     hi: NodeRef,
 }
+
+// ---------------------------------------------------------------------------
+// Open-addressing unique table
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct UniqueSlot {
+    lo: NodeRef,
+    hi: NodeRef,
+    /// `EMPTY` marks a vacant slot.
+    node: NodeRef,
+}
+
+const VACANT: UniqueSlot = UniqueSlot {
+    lo: EMPTY,
+    hi: EMPTY,
+    node: EMPTY,
+};
+
+/// One variable's hash-consing table: open addressing with linear probing
+/// over a power-of-two slot array. Deletion is tombstone-free (backward
+/// shift), so long-lived managers never accumulate probe-chain garbage —
+/// important because sifting removes and re-inserts entries constantly.
+#[derive(Debug, Clone)]
+pub(crate) struct UniqueTable {
+    slots: Vec<UniqueSlot>,
+    len: usize,
+    /// Probe counters feeding [`BddStats`].
+    lookups: u64,
+    probes: u64,
+}
+
+impl UniqueTable {
+    fn new() -> UniqueTable {
+        UniqueTable {
+            slots: Vec::new(),
+            len: 0,
+            lookups: 0,
+            probes: 0,
+        }
+    }
+
+    #[inline]
+    fn hash(lo: NodeRef, hi: NodeRef) -> u64 {
+        mix64(((lo.0 as u64) << 32) | hi.0 as u64)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Looks up the node for `(lo, hi)`, counting probes.
+    fn get(&mut self, lo: NodeRef, hi: NodeRef) -> Option<NodeRef> {
+        self.lookups += 1;
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(lo, hi) as usize) & mask;
+        loop {
+            self.probes += 1;
+            let s = self.slots[i];
+            if s.node == EMPTY {
+                return None;
+            }
+            if s.lo == lo && s.hi == hi {
+                return Some(s.node);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `(lo, hi) -> node`, returning the previous mapping if one
+    /// existed (the reorder module asserts on that case).
+    pub(crate) fn insert(&mut self, lo: NodeRef, hi: NodeRef, node: NodeRef) -> Option<NodeRef> {
+        if self.slots.is_empty() || (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(lo, hi) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s.node == EMPTY {
+                self.slots[i] = UniqueSlot { lo, hi, node };
+                self.len += 1;
+                return None;
+            }
+            if s.lo == lo && s.hi == hi {
+                let prev = s.node;
+                self.slots[i].node = node;
+                return Some(prev);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_cap]);
+        self.len = 0;
+        for s in old {
+            if s.node != EMPTY {
+                self.insert_rehash(s);
+            }
+        }
+    }
+
+    /// Insert during a rebuild: the key is known absent and load is low.
+    fn insert_rehash(&mut self, s: UniqueSlot) {
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(s.lo, s.hi) as usize) & mask;
+        while self.slots[i].node != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = s;
+        self.len += 1;
+    }
+
+    /// Removes `(lo, hi)` by backward-shift deletion: later entries of the
+    /// probe chain slide into the hole, so no tombstones are left behind.
+    pub(crate) fn remove(&mut self, lo: NodeRef, hi: NodeRef) -> Option<NodeRef> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(lo, hi) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s.node == EMPTY {
+                return None;
+            }
+            if s.lo == lo && s.hi == hi {
+                let removed = s.node;
+                let mut j = i;
+                loop {
+                    j = (j + 1) & mask;
+                    let t = self.slots[j];
+                    if t.node == EMPTY {
+                        break;
+                    }
+                    // `t` may fill the hole at `i` iff its home slot is not
+                    // cyclically inside (i, j] — otherwise moving it would
+                    // break its own probe chain.
+                    let home = (Self::hash(t.lo, t.hi) as usize) & mask;
+                    if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                        self.slots[i] = t;
+                        i = j;
+                    }
+                }
+                self.slots[i] = VACANT;
+                self.len -= 1;
+                return Some(removed);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Keeps only entries whose node satisfies `keep`; dropped nodes are
+    /// pushed onto `freed`. Rebuilds in place at the current capacity.
+    fn retain(&mut self, mut keep: impl FnMut(NodeRef) -> bool, freed: &mut Vec<NodeRef>) {
+        if self.len == 0 {
+            return;
+        }
+        let mut survivors: Vec<UniqueSlot> = Vec::with_capacity(self.len);
+        for s in &mut self.slots {
+            if s.node != EMPTY {
+                if keep(s.node) {
+                    survivors.push(*s);
+                } else {
+                    freed.push(s.node);
+                }
+                *s = VACANT;
+            }
+        }
+        self.len = 0;
+        for s in survivors {
+            self.insert_rehash(s);
+        }
+    }
+
+    /// Iterates live entries as `(lo, hi, node)` in slot order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (NodeRef, NodeRef, NodeRef)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.node != EMPTY)
+            .map(|s| (s.lo, s.hi, s.node))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Direct-mapped lossy operation cache
+// ---------------------------------------------------------------------------
+
+const OP_ITE: u32 = 0;
+const OP_RESTRICT0: u32 = 1;
+const OP_RESTRICT1: u32 = 2;
+const OP_EXISTS: u32 = 3;
+const OP_FORALL: u32 = 4;
+
+#[derive(Debug, Clone, Copy)]
+struct OpSlot {
+    op: u32,
+    a: NodeRef,
+    b: NodeRef,
+    c: NodeRef,
+    /// Entry is valid iff `gen == OpCache::gen`.
+    gen: u32,
+    result: NodeRef,
+}
+
+const OP_CACHE_MIN: usize = 1 << 8;
+const OP_CACHE_MAX: usize = 1 << 20;
+
+/// CUDD-style direct-mapped operation cache shared by ITE and the
+/// cofactor/quantification memos. Collisions overwrite (lossy), so capacity
+/// is bounded; a generation counter invalidates every entry in O(1) when the
+/// variable order changes.
+#[derive(Debug, Clone)]
+struct OpCache {
+    slots: Vec<OpSlot>,
+    /// Valid entries in the current generation.
+    len: usize,
+    gen: u32,
+    evictions: u64,
+}
+
+impl OpCache {
+    fn new() -> OpCache {
+        OpCache {
+            slots: Vec::new(),
+            len: 0,
+            gen: 0,
+            evictions: 0,
+        }
+    }
+
+    fn stale_slot(&self) -> OpSlot {
+        OpSlot {
+            op: u32::MAX,
+            a: EMPTY,
+            b: EMPTY,
+            c: EMPTY,
+            gen: self.gen.wrapping_sub(1),
+            result: EMPTY,
+        }
+    }
+
+    #[inline]
+    fn index(&self, op: u32, a: NodeRef, b: NodeRef, c: NodeRef) -> usize {
+        let h = mix64(((op as u64) << 32) | a.0 as u64) ^ mix64(((b.0 as u64) << 32) | c.0 as u64);
+        (h as usize) & (self.slots.len() - 1)
+    }
+
+    fn lookup(&self, op: u32, a: NodeRef, b: NodeRef, c: NodeRef) -> Option<NodeRef> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let s = self.slots[self.index(op, a, b, c)];
+        (s.gen == self.gen && s.op == op && s.a == a && s.b == b && s.c == c).then_some(s.result)
+    }
+
+    fn insert(&mut self, op: u32, a: NodeRef, b: NodeRef, c: NodeRef, result: NodeRef) {
+        if self.slots.is_empty() {
+            self.slots = vec![self.stale_slot(); OP_CACHE_MIN];
+        } else if self.len * 4 >= self.slots.len() * 3 && self.slots.len() < OP_CACHE_MAX {
+            self.grow();
+        }
+        let i = self.index(op, a, b, c);
+        let s = &mut self.slots[i];
+        if s.gen == self.gen {
+            if s.op == op && s.a == a && s.b == b && s.c == c {
+                s.result = result;
+                return;
+            }
+            self.evictions += 1;
+        } else {
+            self.len += 1;
+        }
+        *s = OpSlot {
+            op,
+            a,
+            b,
+            c,
+            gen: self.gen,
+            result,
+        };
+    }
+
+    /// Doubling rehash. Each valid entry moves to `h & new_mask`, which is
+    /// collision-free: entries at distinct old indices stay distinct mod the
+    /// old capacity.
+    fn grow(&mut self) {
+        let stale = self.stale_slot();
+        let old = std::mem::take(&mut self.slots);
+        self.slots = vec![stale; old.len() * 2];
+        for s in old {
+            if s.gen == self.gen {
+                let i = self.index(s.op, s.a, s.b, s.c);
+                self.slots[i] = s;
+            }
+        }
+    }
+
+    /// O(1) whole-cache invalidation by bumping the generation counter.
+    fn invalidate(&mut self) {
+        self.len = 0;
+        if self.gen == u32::MAX {
+            // Generation wrap: physically reset so ancient entries cannot
+            // masquerade as generation-0 entries.
+            self.gen = 0;
+            let stale = self.stale_slot();
+            for s in &mut self.slots {
+                *s = stale;
+            }
+        } else {
+            self.gen += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reusable stamp buffer for traversals
+// ---------------------------------------------------------------------------
+
+/// A generation-stamped visited set over node indices: `mark` is O(1) and a
+/// new traversal is started by bumping the generation, with no clearing and
+/// no per-call allocation once the buffer is warm.
+#[derive(Debug, Clone, Default)]
+struct Marks {
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl Marks {
+    /// Begins a fresh pass able to mark node indices `< n`.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.gen == u32::MAX {
+            self.gen = 1;
+            for s in &mut self.stamp {
+                *s = 0;
+            }
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Marks `n`; returns `true` if it was not yet marked this pass.
+    #[inline]
+    fn mark(&mut self, n: NodeRef) -> bool {
+        let s = &mut self.stamp[n.idx()];
+        if *s == self.gen {
+            false
+        } else {
+            *s = self.gen;
+            true
+        }
+    }
+
+    #[inline]
+    fn is_marked(&self, n: NodeRef) -> bool {
+        self.stamp[n.idx()] == self.gen
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manager
+// ---------------------------------------------------------------------------
 
 /// A reduced ordered BDD manager.
 ///
@@ -112,23 +520,42 @@ struct Node {
 pub struct Bdd {
     nodes: Vec<Node>,
     free: Vec<NodeRef>,
-    /// Per-variable unique tables: `(lo, hi) -> node`.
-    unique: Vec<HashMap<(NodeRef, NodeRef), NodeRef>>,
+    /// Per-variable unique tables.
+    unique: Vec<UniqueTable>,
     /// `level -> var index`.
     var_at_level: Vec<u32>,
     /// `var index -> level`.
     level_of_var: Vec<u32>,
     /// Human-readable variable names (debugging / DOT output).
     var_names: Vec<String>,
-    ite_cache: HashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    /// Shared ITE + cofactor/quantification operation cache.
+    cache: OpCache,
+    /// Scratch visited-set shared by `size`/`support`/`gc` (interior
+    /// mutability so `&self` traversals stay `&self`).
+    marks: RefCell<Marks>,
+    /// Per-node reference counts; only maintained while `rc_active`.
+    rc: Vec<u32>,
+    /// Whether sifting-time reference counting (and with it immediate dead
+    /// node reclamation in `swap_levels`) is on.
+    rc_active: bool,
     /// Total `mk` calls; a rough work counter exposed for benchmarks.
     mk_calls: u64,
     /// Operation-cache probes in `ite` (excluding terminal short-circuits).
     cache_lookups: u64,
     /// Operation-cache hits in `ite`.
     cache_hits: u64,
+    /// Memo probes by `restrict`/`cofactors`/`exists`/`forall`.
+    memo_lookups: u64,
+    /// Memo hits by the same.
+    memo_hits: u64,
     /// Adjacent-level swaps performed (by `swap_levels`, hence by sifting).
     swap_count: u64,
+    /// Nodes returned to the free-list by `gc` or by sifting reclamation.
+    reclaimed_nodes: u64,
+    /// High-water mark of allocated (live) nodes.
+    peak_live_nodes: u64,
+    /// Non-terminal node visits by `restrict`/`cofactors` traversals.
+    op_visits: u64,
 }
 
 /// A snapshot of the manager's work counters, exposed so the synthesis
@@ -145,8 +572,24 @@ pub struct BddStats {
     pub swap_count: u64,
     /// Live entries across the per-variable unique tables.
     pub unique_entries: u64,
-    /// Entries currently in the ITE operation cache.
+    /// Valid entries currently in the operation cache.
     pub cache_entries: u64,
+    /// Unique-table lookups (hash-consing probe sequences started).
+    pub unique_lookups: u64,
+    /// Total unique-table slot probes; `avg_probe_len` = probes / lookups.
+    pub unique_probes: u64,
+    /// Valid cache entries overwritten by a colliding key (lossy cache).
+    pub cache_evictions: u64,
+    /// Memo probes by `restrict`/`cofactors`/`exists`/`forall`.
+    pub memo_lookups: u64,
+    /// Memo hits by the same.
+    pub memo_hits: u64,
+    /// Nodes returned to the free-list by `gc` or sifting reclamation.
+    pub reclaimed_nodes: u64,
+    /// High-water mark of allocated (live) nodes.
+    pub peak_live_nodes: u64,
+    /// Non-terminal node visits by `restrict`/`cofactors` traversals.
+    pub op_visits: u64,
 }
 
 impl BddStats {
@@ -159,6 +602,48 @@ impl BddStats {
             self.cache_hits as f64 / self.cache_lookups as f64
         }
     }
+
+    /// Mean unique-table probe-chain length per lookup; zero when no
+    /// lookups have happened. Near 1.0 means near-ideal hashing.
+    pub fn avg_probe_len(&self) -> f64 {
+        if self.unique_lookups == 0 {
+            0.0
+        } else {
+            self.unique_probes as f64 / self.unique_lookups as f64
+        }
+    }
+
+    /// Element-wise sum with `other`, for aggregating per-manager stats
+    /// (e.g. one manager per CFSM) into one report.
+    pub fn merged(&self, other: &BddStats) -> BddStats {
+        BddStats {
+            mk_calls: self.mk_calls + other.mk_calls,
+            cache_lookups: self.cache_lookups + other.cache_lookups,
+            cache_hits: self.cache_hits + other.cache_hits,
+            swap_count: self.swap_count + other.swap_count,
+            unique_entries: self.unique_entries + other.unique_entries,
+            cache_entries: self.cache_entries + other.cache_entries,
+            unique_lookups: self.unique_lookups + other.unique_lookups,
+            unique_probes: self.unique_probes + other.unique_probes,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
+            memo_lookups: self.memo_lookups + other.memo_lookups,
+            memo_hits: self.memo_hits + other.memo_hits,
+            reclaimed_nodes: self.reclaimed_nodes + other.reclaimed_nodes,
+            peak_live_nodes: self.peak_live_nodes + other.peak_live_nodes,
+            op_visits: self.op_visits + other.op_visits,
+        }
+    }
+}
+
+/// `c << k` if the result fits in `u128`, else `None` (`0` shifts freely).
+fn shl_checked(c: u128, k: u32) -> Option<u128> {
+    if c == 0 {
+        return Some(0);
+    }
+    if k >= 128 || c > (u128::MAX >> k) {
+        return None;
+    }
+    Some(c << k)
 }
 
 impl Default for Bdd {
@@ -188,11 +673,19 @@ impl Bdd {
             var_at_level: Vec::new(),
             level_of_var: Vec::new(),
             var_names: Vec::new(),
-            ite_cache: HashMap::new(),
+            cache: OpCache::new(),
+            marks: RefCell::new(Marks::default()),
+            rc: Vec::new(),
+            rc_active: false,
             mk_calls: 0,
             cache_lookups: 0,
             cache_hits: 0,
+            memo_lookups: 0,
+            memo_hits: 0,
             swap_count: 0,
+            reclaimed_nodes: 0,
+            peak_live_nodes: 0,
+            op_visits: 0,
         }
     }
 
@@ -201,7 +694,7 @@ impl Bdd {
         let idx = self.level_of_var.len() as u32;
         self.level_of_var.push(self.var_at_level.len() as u32);
         self.var_at_level.push(idx);
-        self.unique.push(HashMap::new());
+        self.unique.push(UniqueTable::new());
         self.var_names.push(name.into());
         Var(idx)
     }
@@ -249,7 +742,15 @@ impl Bdd {
             cache_hits: self.cache_hits,
             swap_count: self.swap_count,
             unique_entries: self.unique.iter().map(|t| t.len() as u64).sum(),
-            cache_entries: self.ite_cache.len() as u64,
+            cache_entries: self.cache.len as u64,
+            unique_lookups: self.unique.iter().map(|t| t.lookups).sum(),
+            unique_probes: self.unique.iter().map(|t| t.probes).sum(),
+            cache_evictions: self.cache.evictions,
+            memo_lookups: self.memo_lookups,
+            memo_hits: self.memo_hits,
+            reclaimed_nodes: self.reclaimed_nodes,
+            peak_live_nodes: self.peak_live_nodes,
+            op_visits: self.op_visits,
         }
     }
 
@@ -327,7 +828,7 @@ impl Bdd {
         if lo == hi {
             return lo;
         }
-        if let Some(&n) = self.unique[var as usize].get(&(lo, hi)) {
+        if let Some(n) = self.unique[var as usize].get(lo, hi) {
             return n;
         }
         let node = Node { var, lo, hi };
@@ -339,8 +840,62 @@ impl Bdd {
             self.nodes.push(node);
             r
         };
-        self.unique[var as usize].insert((lo, hi), r);
+        self.unique[var as usize].insert(lo, hi, r);
+        if self.rc_active {
+            self.rc_set(r, 0);
+            self.rc_inc(lo);
+            self.rc_inc(hi);
+        }
+        self.peak_live_nodes = self.peak_live_nodes.max(self.allocated_nodes() as u64);
         r
+    }
+
+    #[inline]
+    fn rc_set(&mut self, n: NodeRef, v: u32) {
+        let i = n.idx();
+        if self.rc.len() <= i {
+            self.rc.resize(i + 1, 0);
+        }
+        self.rc[i] = v;
+    }
+
+    #[inline]
+    fn rc_inc(&mut self, n: NodeRef) {
+        if n.is_terminal() {
+            return;
+        }
+        let i = n.idx();
+        if self.rc.len() <= i {
+            self.rc.resize(i + 1, 0);
+        }
+        self.rc[i] += 1;
+    }
+
+    /// Drops one reference to `n`; nodes whose count reaches zero are
+    /// unlinked from their unique table, put on the free-list, and release
+    /// their children in turn. Only called while `rc_active`.
+    fn rc_release(&mut self, n: NodeRef) {
+        if n.is_terminal() {
+            return;
+        }
+        let mut stack = vec![n];
+        while let Some(m) = stack.pop() {
+            let i = m.idx();
+            debug_assert!(self.rc[i] > 0, "rc underflow");
+            self.rc[i] -= 1;
+            if self.rc[i] == 0 {
+                let node = self.nodes[i];
+                self.unique[node.var as usize].remove(node.lo, node.hi);
+                self.free.push(m);
+                self.reclaimed_nodes += 1;
+                if !node.lo.is_terminal() {
+                    stack.push(node.lo);
+                }
+                if !node.hi.is_terminal() {
+                    stack.push(node.hi);
+                }
+            }
+        }
     }
 
     /// If-then-else: `ite(f, g, h) = f·g + !f·h`. All other Boolean
@@ -359,16 +914,28 @@ impl Bdd {
         if g.is_true() && h.is_false() {
             return f;
         }
+        let (mut f, mut g, mut h) = (f, g, h);
         if f == g {
             // f·f + !f·h = f + h = ite(f, 1, h)
-            return self.ite(f, NodeRef::TRUE, h);
+            g = NodeRef::TRUE;
         }
         if f == h {
             // f·g + !f·f = f·g = ite(f, g, 0)
-            return self.ite(f, g, NodeRef::FALSE);
+            h = NodeRef::FALSE;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        // Commutative normalization: `f + h` (g = 1) and `f · g` (h = 0) are
+        // symmetric in their operands, so order them by node index to make
+        // e.g. or(a, b) and or(b, a) share one cache slot.
+        if g.is_true() && f.0 > h.0 {
+            std::mem::swap(&mut f, &mut h);
+        } else if h.is_false() && f.0 > g.0 {
+            std::mem::swap(&mut f, &mut g);
         }
         self.cache_lookups += 1;
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+        if let Some(r) = self.cache.lookup(OP_ITE, f, g, h) {
             self.cache_hits += 1;
             return r;
         }
@@ -383,7 +950,7 @@ impl Bdd {
         let t = self.ite(f1, g1, h1);
         let e = self.ite(f0, g0, h0);
         let r = self.mk(v, e, t);
-        self.ite_cache.insert((f, g, h), r);
+        self.cache.insert(OP_ITE, f, g, h, r);
         r
     }
 
@@ -443,51 +1010,99 @@ impl Bdd {
     }
 
     /// The restriction (cofactor) `f|_{v = val}` (Section II-C).
+    ///
+    /// Memoized in the persistent operation cache, so repeated cofactoring
+    /// during sifting and s-graph extraction allocates nothing per call.
     pub fn restrict(&mut self, f: NodeRef, v: Var, val: bool) -> NodeRef {
-        let mut memo = HashMap::new();
-        self.restrict_rec(f, v.0, val, &mut memo)
+        self.restrict_rec(f, v.0, val)
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: NodeRef,
-        v: u32,
-        val: bool,
-        memo: &mut HashMap<NodeRef, NodeRef>,
-    ) -> NodeRef {
+    fn restrict_rec(&mut self, f: NodeRef, v: u32, val: bool) -> NodeRef {
         if f.is_terminal() {
             return f;
         }
+        self.op_visits += 1;
         let flevel = self.level_of_node(f);
         let vlevel = self.level_of_var[v as usize];
         if flevel > vlevel {
             return f; // v does not occur in f
         }
-        if let Some(&r) = memo.get(&f) {
+        let node = self.nodes[f.idx()];
+        if node.var == v {
+            return if val { node.hi } else { node.lo };
+        }
+        let op = if val { OP_RESTRICT1 } else { OP_RESTRICT0 };
+        self.memo_lookups += 1;
+        if let Some(r) = self.cache.lookup(op, f, NodeRef(v), EMPTY) {
+            self.memo_hits += 1;
             return r;
         }
-        let node = self.nodes[f.idx()];
-        let r = if node.var == v {
-            if val {
-                node.hi
-            } else {
-                node.lo
-            }
-        } else {
-            let lo = self.restrict_rec(node.lo, v, val, memo);
-            let hi = self.restrict_rec(node.hi, v, val, memo);
-            self.mk(node.var, lo, hi)
-        };
-        memo.insert(f, r);
+        let lo = self.restrict_rec(node.lo, v, val);
+        let hi = self.restrict_rec(node.hi, v, val);
+        let r = self.mk(node.var, lo, hi);
+        self.cache.insert(op, f, NodeRef(v), EMPTY, r);
         r
+    }
+
+    /// Both cofactors `(f|_{v=0}, f|_{v=1})` in one shared traversal.
+    ///
+    /// Each node above `v`'s level is visited once (filling both restrict
+    /// memo slots), where two [`Bdd::restrict`] calls would visit it twice —
+    /// this is what `exists`/`forall` are routed through.
+    pub fn cofactors(&mut self, f: NodeRef, v: Var) -> (NodeRef, NodeRef) {
+        self.cofactors_rec(f, v.0)
+    }
+
+    fn cofactors_rec(&mut self, f: NodeRef, v: u32) -> (NodeRef, NodeRef) {
+        if f.is_terminal() {
+            return (f, f);
+        }
+        self.op_visits += 1;
+        let flevel = self.level_of_node(f);
+        let vlevel = self.level_of_var[v as usize];
+        if flevel > vlevel {
+            return (f, f);
+        }
+        let node = self.nodes[f.idx()];
+        if node.var == v {
+            return (node.lo, node.hi);
+        }
+        let vref = NodeRef(v);
+        self.memo_lookups += 1;
+        let c0 = self.cache.lookup(OP_RESTRICT0, f, vref, EMPTY);
+        let c1 = self.cache.lookup(OP_RESTRICT1, f, vref, EMPTY);
+        if let (Some(r0), Some(r1)) = (c0, c1) {
+            self.memo_hits += 1;
+            return (r0, r1);
+        }
+        let (lo0, lo1) = self.cofactors_rec(node.lo, v);
+        let (hi0, hi1) = self.cofactors_rec(node.hi, v);
+        let r0 = self.mk(node.var, lo0, hi0);
+        let r1 = self.mk(node.var, lo1, hi1);
+        self.cache.insert(OP_RESTRICT0, f, vref, EMPTY, r0);
+        self.cache.insert(OP_RESTRICT1, f, vref, EMPTY, r1);
+        (r0, r1)
     }
 
     /// Existential quantification (smoothing, Section II-C):
     /// `∃v. f = f|_{v=0} + f|_{v=1}`.
+    ///
+    /// Both cofactors come from one shared [`Bdd::cofactors`] pass and the
+    /// result itself is memoized.
     pub fn exists(&mut self, f: NodeRef, v: Var) -> NodeRef {
-        let f0 = self.restrict(f, v, false);
-        let f1 = self.restrict(f, v, true);
-        self.or(f0, f1)
+        if f.is_terminal() {
+            return f;
+        }
+        let vref = NodeRef(v.0);
+        self.memo_lookups += 1;
+        if let Some(r) = self.cache.lookup(OP_EXISTS, f, vref, EMPTY) {
+            self.memo_hits += 1;
+            return r;
+        }
+        let (f0, f1) = self.cofactors_rec(f, v.0);
+        let r = self.or(f0, f1);
+        self.cache.insert(OP_EXISTS, f, vref, EMPTY, r);
+        r
     }
 
     /// Existential quantification over several variables.
@@ -497,29 +1112,41 @@ impl Bdd {
 
     /// Universal quantification: `∀v. f = f|_{v=0} · f|_{v=1}`.
     pub fn forall(&mut self, f: NodeRef, v: Var) -> NodeRef {
-        let f0 = self.restrict(f, v, false);
-        let f1 = self.restrict(f, v, true);
-        self.and(f0, f1)
+        if f.is_terminal() {
+            return f;
+        }
+        let vref = NodeRef(v.0);
+        self.memo_lookups += 1;
+        if let Some(r) = self.cache.lookup(OP_FORALL, f, vref, EMPTY) {
+            self.memo_hits += 1;
+            return r;
+        }
+        let (f0, f1) = self.cofactors_rec(f, v.0);
+        let r = self.and(f0, f1);
+        self.cache.insert(OP_FORALL, f, vref, EMPTY, r);
+        r
     }
 
     /// The set of variables `f` essentially depends on, sorted by current
     /// level (root-most first).
     pub fn support(&self, f: NodeRef) -> Vec<Var> {
-        let mut seen = std::collections::HashSet::new();
-        let mut vars = std::collections::HashSet::new();
+        let mut marks = self.marks.take();
+        marks.begin(self.nodes.len());
+        let mut vars: Vec<u32> = Vec::new();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
+            if n.is_terminal() || !marks.mark(n) {
                 continue;
             }
             let node = &self.nodes[n.idx()];
-            vars.insert(node.var);
+            vars.push(node.var);
             stack.push(node.lo);
             stack.push(node.hi);
         }
-        let mut out: Vec<Var> = vars.into_iter().map(Var).collect();
-        out.sort_by_key(|v| self.level_of_var[v.index()]);
-        out
+        self.marks.replace(marks);
+        vars.sort_by_key(|&v| self.level_of_var[v as usize]);
+        vars.dedup();
+        vars.into_iter().map(Var).collect()
     }
 
     /// Evaluates `f` under the assignment `val` (a predicate on variables).
@@ -532,54 +1159,58 @@ impl Bdd {
         n.is_true()
     }
 
-    /// Number of satisfying assignments of `f` over all declared variables.
-    ///
-    /// # Panics
-    ///
-    /// Panics if more than 127 variables are declared (the count would not
-    /// fit in a `u128`).
+    /// Number of satisfying assignments of `f` over all declared variables,
+    /// saturating at `u128::MAX` when the count does not fit (128 or more
+    /// variables can overflow). Use [`Bdd::checked_sat_count`] to detect
+    /// overflow.
     pub fn sat_count(&self, f: NodeRef) -> u128 {
+        self.checked_sat_count(f).unwrap_or(u128::MAX)
+    }
+
+    /// Number of satisfying assignments of `f` over all declared variables,
+    /// or `None` if the count overflows `u128`.
+    pub fn checked_sat_count(&self, f: NodeRef) -> Option<u128> {
         let nvars = self.num_vars() as u32;
-        assert!(nvars < 128, "sat_count supports at most 127 variables");
         let mut memo: HashMap<NodeRef, u128> = HashMap::new();
-        let below_root = self.sat_count_rec(f, &mut memo);
+        let below_root = self.sat_count_rec(f, &mut memo)?;
         // Scale by the variables above f's top level.
         let top = if f.is_terminal() {
             nvars
         } else {
             self.level_of_node(f)
         };
-        below_root << top
+        shl_checked(below_root, top)
     }
 
     /// Counts assignments over the variables strictly below (and including)
-    /// the node's level.
-    fn sat_count_rec(&self, f: NodeRef, memo: &mut HashMap<NodeRef, u128>) -> u128 {
+    /// the node's level; `None` on overflow.
+    fn sat_count_rec(&self, f: NodeRef, memo: &mut HashMap<NodeRef, u128>) -> Option<u128> {
         let nvars = self.num_vars() as u32;
         if f.is_false() {
-            return 0;
+            return Some(0);
         }
         if f.is_true() {
-            return 1;
+            return Some(1);
         }
         if let Some(&c) = memo.get(&f) {
-            return c;
+            return Some(c);
         }
         let node = &self.nodes[f.idx()];
         let level = self.level_of_var[node.var as usize];
-        let child_weight = |s: &Bdd, child: NodeRef, count: u128| {
-            let clevel = if child.is_terminal() {
+        let clevel = |child: NodeRef| {
+            if child.is_terminal() {
                 nvars
             } else {
-                s.level_of_node(child)
-            };
-            count << (clevel - level - 1)
+                self.level_of_node(child)
+            }
         };
-        let lo = self.sat_count_rec(node.lo, memo);
-        let hi = self.sat_count_rec(node.hi, memo);
-        let c = child_weight(self, node.lo, lo) + child_weight(self, node.hi, hi);
+        let lo = self.sat_count_rec(node.lo, memo)?;
+        let hi = self.sat_count_rec(node.hi, memo)?;
+        let wlo = shl_checked(lo, clevel(node.lo) - level - 1)?;
+        let whi = shl_checked(hi, clevel(node.hi) - level - 1)?;
+        let c = wlo.checked_add(whi)?;
         memo.insert(f, c);
-        c
+        Some(c)
     }
 
     /// Returns one satisfying assignment of `f` as `(Var, bool)` pairs for
@@ -606,11 +1237,12 @@ impl Bdd {
 
     /// Number of distinct nodes (terminals excluded) reachable from `roots`.
     pub fn size(&self, roots: &[NodeRef]) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut marks = self.marks.take();
+        marks.begin(self.nodes.len());
         let mut stack: Vec<NodeRef> = roots.to_vec();
         let mut count = 0;
         while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
+            if n.is_terminal() || !marks.mark(n) {
                 continue;
             }
             count += 1;
@@ -618,6 +1250,7 @@ impl Bdd {
             stack.push(node.lo);
             stack.push(node.hi);
         }
+        self.marks.replace(marks);
         count
     }
 
@@ -627,39 +1260,35 @@ impl Bdd {
     }
 
     /// Mark-and-sweep garbage collection: frees every node not reachable
-    /// from `roots` and clears the operation cache. Handles reachable from
-    /// `roots` remain valid. Returns the number of nodes freed.
+    /// from `roots` and invalidates the operation cache. Handles reachable
+    /// from `roots` remain valid. Returns the number of nodes freed.
     pub fn gc(&mut self, roots: &[NodeRef]) -> usize {
-        let mut marked = std::collections::HashSet::new();
+        let mut marks = self.marks.take();
+        marks.begin(self.nodes.len());
         let mut stack: Vec<NodeRef> = roots.to_vec();
         while let Some(n) = stack.pop() {
-            if n.is_terminal() || !marked.insert(n) {
+            if n.is_terminal() || !marks.mark(n) {
                 continue;
             }
             let node = &self.nodes[n.idx()];
             stack.push(node.lo);
             stack.push(node.hi);
         }
-        let mut freed = 0;
+        let before = self.free.len();
         for table in &mut self.unique {
-            table.retain(|_, &mut n| {
-                if marked.contains(&n) {
-                    true
-                } else {
-                    self.free.push(n);
-                    freed += 1;
-                    false
-                }
-            });
+            table.retain(|n| marks.is_marked(n), &mut self.free);
         }
-        self.ite_cache.clear();
+        self.marks.replace(marks);
+        let freed = self.free.len() - before;
+        self.reclaimed_nodes += freed as u64;
+        self.cache.invalidate();
         freed
     }
 
-    /// Clears the ITE operation cache (needed after reordering; done
-    /// automatically by [`Bdd::sift`]).
+    /// Invalidates the operation cache in O(1) (needed after reordering;
+    /// done automatically by [`Bdd::sift`]).
     pub fn clear_cache(&mut self) {
-        self.ite_cache.clear();
+        self.cache.invalidate();
     }
 
     /// Renders the graph rooted at `roots` in Graphviz DOT format.
@@ -705,14 +1334,11 @@ impl Bdd {
         self.nodes[n.idx()] = Node { var, lo, hi };
     }
 
-    pub(crate) fn unique_table(&self, var: u32) -> &HashMap<(NodeRef, NodeRef), NodeRef> {
+    pub(crate) fn unique_table(&self, var: u32) -> &UniqueTable {
         &self.unique[var as usize]
     }
 
-    pub(crate) fn unique_table_mut(
-        &mut self,
-        var: u32,
-    ) -> &mut HashMap<(NodeRef, NodeRef), NodeRef> {
+    pub(crate) fn unique_table_mut(&mut self, var: u32) -> &mut UniqueTable {
         &mut self.unique[var as usize]
     }
 
@@ -723,6 +1349,41 @@ impl Bdd {
     pub(crate) fn set_level(&mut self, v: u32, level: u32) {
         self.level_of_var[v as usize] = level;
         self.var_at_level[level as usize] = v;
+    }
+
+    /// Installs reference counts for every live node (callers must have
+    /// garbage-collected first so the tables contain exactly the reachable
+    /// nodes) and turns on sifting-time reclamation.
+    pub(crate) fn rc_begin(&mut self, roots: &[NodeRef]) {
+        self.rc.clear();
+        self.rc.resize(self.nodes.len(), 0);
+        let rc = &mut self.rc;
+        for table in &self.unique {
+            for (lo, hi, _) in table.iter() {
+                if !lo.is_terminal() {
+                    rc[lo.idx()] += 1;
+                }
+                if !hi.is_terminal() {
+                    rc[hi.idx()] += 1;
+                }
+            }
+        }
+        for &r in roots {
+            if !r.is_terminal() {
+                rc[r.idx()] += 1;
+            }
+        }
+        self.rc_active = true;
+    }
+
+    /// Turns sifting-time reclamation back off and drops the counts.
+    pub(crate) fn rc_end(&mut self) {
+        self.rc_active = false;
+        self.rc.clear();
+    }
+
+    pub(crate) fn rc_is_active(&self) -> bool {
+        self.rc_active
     }
 }
 
@@ -795,6 +1456,26 @@ mod tests {
     }
 
     #[test]
+    fn commutative_ops_share_cache_slots() {
+        let (mut b, x, y, _) = setup3();
+        let (fx, fy) = (b.var(x), b.var(y));
+        let _f = b.or(fx, fy);
+        let hits_before = b.stats().cache_hits;
+        let _g = b.or(fy, fx); // normalized to the same cache key
+        assert!(
+            b.stats().cache_hits > hits_before,
+            "or(b, a) must hit the cache entry left by or(a, b)"
+        );
+        let _h = b.and(fx, fy);
+        let hits_before = b.stats().cache_hits;
+        let _k = b.and(fy, fx);
+        assert!(
+            b.stats().cache_hits > hits_before,
+            "and(b, a) must hit the cache entry left by and(a, b)"
+        );
+    }
+
+    #[test]
     fn restrict_and_exists() {
         let (mut b, x, y, _) = setup3();
         let (fx, fy) = (b.var(x), b.var(y));
@@ -807,6 +1488,56 @@ mod tests {
         assert_eq!(ex, fy);
         let fa = b.forall(f, x);
         assert!(fa.is_false());
+    }
+
+    #[test]
+    fn cofactors_match_restrict() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        let t = b.and(fx, fy);
+        let u = b.xor(fy, fz);
+        let f = b.or(t, u);
+        for v in [x, y, z] {
+            let r0 = b.restrict(f, v, false);
+            let r1 = b.restrict(f, v, true);
+            b.clear_cache();
+            let (c0, c1) = b.cofactors(f, v);
+            assert_eq!((c0, c1), (r0, r1), "cofactors vs restrict at {v}");
+        }
+    }
+
+    #[test]
+    fn shared_cofactor_pass_halves_visits() {
+        // Build a function wide enough that the traversal count is
+        // meaningful, then compare two restrict sweeps against one
+        // cofactors sweep on a cold cache.
+        let mut b = Bdd::new();
+        let vars: Vec<Var> = (0..10).map(|i| b.new_var(format!("v{i}"))).collect();
+        let mut f = NodeRef::FALSE;
+        for w in vars.windows(2) {
+            let a = b.var(w[0]);
+            let c = b.var(w[1]);
+            let t = b.and(a, c);
+            f = b.xor(f, t);
+        }
+        let v = vars[9]; // bottom variable: every node is above it
+        b.clear_cache();
+        let before = b.stats().op_visits;
+        let r0 = b.restrict(f, v, false);
+        let r1 = b.restrict(f, v, true);
+        let two_pass_visits = b.stats().op_visits - before;
+        b.clear_cache();
+        let before = b.stats().op_visits;
+        let (c0, c1) = b.cofactors(f, v);
+        let one_pass_visits = b.stats().op_visits - before;
+        assert_eq!((c0, c1), (r0, r1));
+        // Ideally one pass does half the visits of two; the lossy cache can
+        // cost a few re-traversals, so assert a 25% drop at minimum.
+        assert!(
+            4 * one_pass_visits <= 3 * two_pass_visits,
+            "shared pass must visit substantially fewer nodes: \
+             one-pass {one_pass_visits} vs two-pass {two_pass_visits}"
+        );
     }
 
     #[test]
@@ -839,6 +1570,29 @@ mod tests {
     }
 
     #[test]
+    fn sat_count_at_the_u128_boundary() {
+        // 127 variables: every count fits in u128.
+        let mut b = Bdd::new();
+        let vars: Vec<Var> = (0..127).map(|i| b.new_var(format!("v{i}"))).collect();
+        assert_eq!(b.checked_sat_count(NodeRef::TRUE), Some(1u128 << 127));
+        let fx = b.var(vars[0]);
+        assert_eq!(b.checked_sat_count(fx), Some(1u128 << 126));
+
+        // 128 variables: the tautology's count (2^128) overflows, but
+        // narrower functions still fit exactly.
+        let mut b = Bdd::new();
+        let vars: Vec<Var> = (0..128).map(|i| b.new_var(format!("v{i}"))).collect();
+        assert_eq!(b.checked_sat_count(NodeRef::TRUE), None);
+        assert_eq!(b.sat_count(NodeRef::TRUE), u128::MAX, "saturates, no panic");
+        assert_eq!(b.checked_sat_count(NodeRef::FALSE), Some(0));
+        let fx = b.var(vars[0]);
+        assert_eq!(b.checked_sat_count(fx), Some(1u128 << 127));
+        let nfx = b.not(fx);
+        let taut = b.or(fx, nfx);
+        assert_eq!(b.checked_sat_count(taut), None);
+    }
+
+    #[test]
     fn pick_cube_satisfies() {
         let (mut b, x, y, _) = setup3();
         let (fx, fy) = (b.var(x), b.var(y));
@@ -865,6 +1619,60 @@ mod tests {
         // and new operations still work
         let again = b.and(fx, fy);
         assert_eq!(again, keep);
+    }
+
+    #[test]
+    fn unique_table_remove_keeps_probe_chains_intact() {
+        // Stress the backward-shift deletion: insert a batch, remove half
+        // in an interleaved pattern, and verify every survivor is still
+        // found and every removed key is gone.
+        let mut t = UniqueTable::new();
+        let n = 512u32;
+        for i in 0..n {
+            t.insert(NodeRef(i), NodeRef(i + 1), NodeRef(1000 + i));
+        }
+        for i in (0..n).step_by(2) {
+            assert_eq!(
+                t.remove(NodeRef(i), NodeRef(i + 1)),
+                Some(NodeRef(1000 + i))
+            );
+        }
+        assert_eq!(t.len(), n as usize / 2);
+        for i in 0..n {
+            let got = t.get(NodeRef(i), NodeRef(i + 1));
+            if i % 2 == 0 {
+                assert_eq!(got, None, "removed key {i} must be gone");
+            } else {
+                assert_eq!(got, Some(NodeRef(1000 + i)), "survivor {i} must be found");
+            }
+        }
+        // Re-inserting removed keys must work and not duplicate.
+        for i in (0..n).step_by(2) {
+            assert_eq!(
+                t.insert(NodeRef(i), NodeRef(i + 1), NodeRef(2000 + i)),
+                None
+            );
+        }
+        assert_eq!(t.len(), n as usize);
+    }
+
+    #[test]
+    fn op_cache_generation_invalidation() {
+        let mut c = OpCache::new();
+        c.insert(OP_ITE, NodeRef(5), NodeRef(6), NodeRef(7), NodeRef(8));
+        assert_eq!(
+            c.lookup(OP_ITE, NodeRef(5), NodeRef(6), NodeRef(7)),
+            Some(NodeRef(8))
+        );
+        c.invalidate();
+        assert_eq!(c.lookup(OP_ITE, NodeRef(5), NodeRef(6), NodeRef(7)), None);
+        assert_eq!(c.len, 0);
+        // Entries written after invalidation are visible again.
+        c.insert(OP_ITE, NodeRef(5), NodeRef(6), NodeRef(7), NodeRef(9));
+        assert_eq!(
+            c.lookup(OP_ITE, NodeRef(5), NodeRef(6), NodeRef(7)),
+            Some(NodeRef(9))
+        );
     }
 
     #[test]

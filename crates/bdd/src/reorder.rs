@@ -54,8 +54,10 @@ impl Bdd {
     /// Swaps the variables at `level` and `level + 1` in place.
     ///
     /// Node handles remain valid and keep denoting the same functions; the
-    /// operation cache is cleared. This is the primitive underlying
-    /// [`Bdd::sift`].
+    /// operation cache is invalidated. This is the primitive underlying
+    /// [`Bdd::sift`]. During sifting (reference counting active), child
+    /// nodes orphaned by the rewrite are reclaimed immediately through the
+    /// free-list instead of leaking until the next [`Bdd::gc`].
     ///
     /// # Panics
     ///
@@ -75,13 +77,14 @@ impl Bdd {
         let interacting: Vec<(NodeRef, NodeRef, NodeRef)> = self
             .unique_table(x)
             .iter()
-            .filter(|&(&(lo, hi), _)| self.node(lo).0 == y || self.node(hi).0 == y)
-            .map(|(&(lo, hi), &n)| (n, lo, hi))
+            .filter(|&(lo, hi, _)| self.node(lo).0 == y || self.node(hi).0 == y)
+            .map(|(lo, hi, n)| (n, lo, hi))
             .collect();
         for &(_, lo, hi) in &interacting {
-            self.unique_table_mut(x).remove(&(lo, hi));
+            self.unique_table_mut(x).remove(lo, hi);
         }
 
+        let reclaim = self.rc_is_active();
         for (n, lo, hi) in interacting {
             // Cofactors of the function at `n` over (x, y):
             // n = x ? hi : lo, so f_{x=a, y=b} = (a ? hi : lo)|_{y=b}.
@@ -99,11 +102,20 @@ impl Bdd {
             };
             // After the swap y is on top: n = y ? (x ? f11 : f01)
             //                                   : (x ? f10 : f00).
+            // Both new children must exist before the old ones are released:
+            // a cascade from `lo` could otherwise free a cofactor that
+            // `new_hi` still needs.
             let new_lo = self.make_inner(x, f00, f10);
             let new_hi = self.make_inner(x, f01, f11);
             debug_assert_ne!(new_lo, new_hi, "swap produced a redundant node");
+            if reclaim {
+                self.rc_inc(new_lo);
+                self.rc_inc(new_hi);
+                self.rc_release(lo);
+                self.rc_release(hi);
+            }
             self.rewrite_node(n, y, new_lo, new_hi);
-            let prev = self.unique_table_mut(y).insert((new_lo, new_hi), n);
+            let prev = self.unique_table_mut(y).insert(new_lo, new_hi, n);
             debug_assert!(prev.is_none(), "swap produced a duplicate y-node");
         }
 
@@ -130,33 +142,30 @@ impl Bdd {
             return self.size(roots);
         }
         let mut layout = BlockLayout::new(self, config);
-        let mut best = self.size(roots);
+        // After gc the arena holds exactly the nodes reachable from `roots`,
+        // and swap-time reclamation keeps it that way, so sifting can
+        // measure size as the O(1) allocation count instead of traversing.
+        self.rc_begin(roots);
+        let mut best = self.allocated_nodes();
         let passes = config.max_passes.max(1);
         for _ in 0..passes {
             let before = best;
-            best = self.sift_pass(roots, &mut layout, best);
+            best = self.sift_pass(&mut layout, best);
             if best >= before {
                 break;
             }
         }
+        self.rc_end();
         best
     }
 
     /// One sifting pass over every block, largest first.
-    fn sift_pass(&mut self, roots: &[NodeRef], layout: &mut BlockLayout, mut best: usize) -> usize {
-        // Count live nodes per variable to choose the sift order.
-        let mut per_var = vec![0usize; self.num_vars()];
-        let mut seen = std::collections::HashSet::new();
-        let mut stack: Vec<NodeRef> = roots.to_vec();
-        while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
-                continue;
-            }
-            let (v, lo, hi) = self.node(n);
-            per_var[v as usize] += 1;
-            stack.push(lo);
-            stack.push(hi);
-        }
+    fn sift_pass(&mut self, layout: &mut BlockLayout, mut best: usize) -> usize {
+        // Per-variable live node counts (to choose the sift order) are just
+        // the unique-table sizes: reclamation keeps the tables exact.
+        let per_var: Vec<usize> = (0..self.num_vars())
+            .map(|v| self.unique_table(v as u32).len())
+            .collect();
         let mut block_weight: Vec<(usize, usize)> = (0..layout.num_blocks())
             .map(|b| {
                 let w = layout.block_vars[b]
@@ -172,20 +181,14 @@ impl Bdd {
             if weight == 0 {
                 continue;
             }
-            best = self.sift_block(roots, layout, block, best);
+            best = self.sift_block(layout, block, best);
         }
         best
     }
 
     /// Moves one block through its feasible window and leaves it at the best
     /// position found.
-    fn sift_block(
-        &mut self,
-        roots: &[NodeRef],
-        layout: &mut BlockLayout,
-        block: usize,
-        mut best: usize,
-    ) -> usize {
+    fn sift_block(&mut self, layout: &mut BlockLayout, block: usize, mut best: usize) -> usize {
         let start = layout.position(block);
         let (lb, ub) = layout.feasible_window(block);
         debug_assert!((lb..=ub).contains(&start));
@@ -197,7 +200,7 @@ impl Bdd {
         while pos < ub {
             layout.swap_with_next(self, pos);
             pos += 1;
-            let s = self.size(roots);
+            let s = self.allocated_nodes();
             if s < best {
                 best = s;
                 best_pos = pos;
@@ -206,7 +209,7 @@ impl Bdd {
         while pos > lb {
             layout.swap_with_next(self, pos - 1);
             pos -= 1;
-            let s = self.size(roots);
+            let s = self.allocated_nodes();
             if s < best {
                 best = s;
                 best_pos = pos;

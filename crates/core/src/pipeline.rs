@@ -143,6 +143,9 @@ fn stage_chi(ctx: &mut SynthCtx<'_>, cfsm: &Cfsm) -> Result<ReactiveFn, SynthErr
     ctx.count("cache_lookups", st.cache_lookups);
     ctx.count("cache_hits", st.cache_hits);
     ctx.ratio("cache_hit_rate", st.hit_rate());
+    ctx.count("cache_evictions", st.cache_evictions);
+    ctx.count("peak_live_nodes", st.peak_live_nodes);
+    ctx.ratio("unique_probe_len", st.avg_probe_len());
     Ok(rf)
 }
 
@@ -156,6 +159,9 @@ fn stage_sift(ctx: &mut SynthCtx<'_>, mut rf: ReactiveFn) -> Result<ReactiveFn, 
     ctx.count("swaps", st.swap_count - swaps_before);
     ctx.count("cache_lookups", st.cache_lookups);
     ctx.ratio("cache_hit_rate", st.hit_rate());
+    ctx.count("reclaimed_nodes", st.reclaimed_nodes);
+    ctx.count("peak_live_nodes", st.peak_live_nodes);
+    ctx.count("memo_hits", st.memo_hits);
     Ok(rf)
 }
 

@@ -104,6 +104,10 @@ fn trace_records_every_stage_once_for_simple() {
     // Sifting recorded its before/after sizes.
     assert!(counter("sift", "bdd_nodes_before") > 0);
     assert!(counter("sift", "bdd_nodes_after") > 0);
+    // Storage-layer counters from the overhauled kernel are present and
+    // consistent: the high-water mark bounds the live size on both stages.
+    assert!(counter("chi", "peak_live_nodes") >= counter("chi", "bdd_nodes"));
+    assert!(counter("sift", "peak_live_nodes") >= counter("sift", "bdd_nodes_after"));
     // The s-graph is non-trivial and collapse kept it consistent.
     assert!(counter("sgraph", "reachable") > 2);
     assert!(counter("sgraph", "tests") > 0);

@@ -17,4 +17,7 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> kernel bench smoke (regression thresholds)"
+./target/release/kernel --smoke --check --out /tmp/bench_bdd_kernel_smoke.json
+
 echo "CI OK"
