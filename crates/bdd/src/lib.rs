@@ -1127,6 +1127,56 @@ impl Bdd {
         r
     }
 
+    /// Simultaneous variable renaming: rewrites `f` with every source
+    /// variable of `pairs` replaced by its target variable.
+    ///
+    /// The substitution is performed bottom-up through [`Bdd::ite`], so it
+    /// is correct for any variable order — targets need not occupy the
+    /// levels of their sources. Sources must be distinct, and no target may
+    /// also appear as a source or in the support of `f` (that would capture
+    /// the renamed occurrences); the relational-image use — mapping
+    /// next-state variables onto their quantified-out current-state rails —
+    /// satisfies both by construction. Debug builds assert the
+    /// source/target sets are disjoint.
+    pub fn rename(&mut self, f: NodeRef, pairs: &[(Var, Var)]) -> NodeRef {
+        let pairs: Vec<(Var, Var)> = pairs.iter().copied().filter(|&(s, t)| s != t).collect();
+        if pairs.is_empty() || f.is_terminal() {
+            return f;
+        }
+        debug_assert!(
+            pairs
+                .iter()
+                .all(|&(_, t)| pairs.iter().all(|&(s, _)| s != t)),
+            "rename target also appears as a source"
+        );
+        let map: HashMap<u32, u32> = pairs.iter().map(|&(s, t)| (s.0, t.0)).collect();
+        debug_assert_eq!(map.len(), pairs.len(), "duplicate rename source");
+        let mut memo: HashMap<NodeRef, NodeRef> = HashMap::new();
+        self.rename_rec(f, &map, &mut memo)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: NodeRef,
+        map: &HashMap<u32, u32>,
+        memo: &mut HashMap<NodeRef, NodeRef>,
+    ) -> NodeRef {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let node = self.nodes[f.idx()];
+        let lo = self.rename_rec(node.lo, map, memo);
+        let hi = self.rename_rec(node.hi, map, memo);
+        let v = map.get(&node.var).copied().unwrap_or(node.var);
+        let vf = self.var(Var(v));
+        let r = self.ite(vf, hi, lo);
+        memo.insert(f, r);
+        r
+    }
+
     /// The set of variables `f` essentially depends on, sorted by current
     /// level (root-most first).
     pub fn support(&self, f: NodeRef) -> Vec<Var> {
@@ -1704,5 +1754,56 @@ mod tests {
         assert_eq!(b.level(x), 0);
         assert_eq!(b.var_at(2), z);
         assert_eq!(b.order(), vec![x, y, z]);
+    }
+
+    #[test]
+    fn rename_substitutes_variables() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy) = (b.var(x), b.var(y));
+        let f = b.and(fx, fy); // x & y
+        let r = b.rename(f, &[(y, z)]); // -> x & z
+        let fz = b.var(z);
+        let expect = b.and(fx, fz);
+        assert_eq!(r, expect);
+        // Untouched variables and empty maps are identities.
+        assert_eq!(b.rename(f, &[]), f);
+        assert_eq!(b.rename(f, &[(z, z)]), f);
+    }
+
+    #[test]
+    fn rename_is_simultaneous_and_order_independent() {
+        let mut b = Bdd::new();
+        // Next-state rail declared *before* its current rail: renaming must
+        // move functions upward in the order correctly.
+        let xn = b.new_var("x'");
+        let yn = b.new_var("y'");
+        let x = b.new_var("x");
+        let y = b.new_var("y");
+        let (fxn, fyn) = (b.var(xn), b.var(yn));
+        let nyn = b.not(fyn);
+        let f = b.and(fxn, nyn); // x' & !y'
+        let r = b.rename(f, &[(xn, x), (yn, y)]);
+        let (fx, fy) = (b.var(x), b.var(y));
+        let nfy = b.not(fy);
+        let expect = b.and(fx, nfy);
+        assert_eq!(r, expect);
+        // Truth table agrees under the variable swap.
+        for bits in 0..4u32 {
+            let val = |v: Var| (v == x && bits & 1 != 0) || (v == y && bits & 2 != 0);
+            let val_next = |v: Var| (v == xn && bits & 1 != 0) || (v == yn && bits & 2 != 0);
+            assert_eq!(b.eval(r, val), b.eval(f, val_next));
+        }
+    }
+
+    #[test]
+    fn rename_preserves_sharing_with_xor() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy) = (b.var(x), b.var(y));
+        let f = b.xor(fx, fy);
+        let g = b.rename(f, &[(x, z)]);
+        let fz = b.var(z);
+        let expect = b.xor(fz, fy);
+        assert_eq!(g, expect);
+        assert_eq!(b.support(g), vec![y, z]);
     }
 }

@@ -1,0 +1,167 @@
+//! Symbolic-verification benchmark: runs the reachability engine over
+//! the seed example networks and synthetic relay chains of growing
+//! width, and writes `BENCH_verify.json` with image steps, wall times,
+//! and peak live BDD nodes.
+//!
+//! ```text
+//! cargo run --release -p polis-bench --bin verify [-- --smoke] [--check] [--out FILE]
+//! ```
+//!
+//! `--smoke` shrinks the synthetic chains so the bench finishes in well
+//! under a second (the CI gate). `--check` asserts sanity thresholds —
+//! every case reaches its fixpoint, counts a non-trivial reachable set,
+//! and stays inside the default node budget — and exits non-zero on
+//! violation.
+
+use polis_cfsm::Network;
+use polis_core::random::{random_network, RandomSpec};
+use polis_core::trace::escape_json;
+use polis_core::workloads;
+use polis_verify::{Verifier, VerifyOptions, VerifyReport};
+use std::time::Instant;
+
+/// One measured verification case.
+struct CaseResult {
+    name: String,
+    wall_ms: f64,
+    report: VerifyReport,
+}
+
+impl CaseResult {
+    fn to_json(&self) -> String {
+        let s = &self.report.stats;
+        format!(
+            "{{\n      \"name\": \"{}\",\n      \"wall_ms\": {:.3},\n      \
+             \"machines\": {},\n      \"buffers\": {},\n      \
+             \"iterations\": {},\n      \"image_steps\": {},\n      \
+             \"reached_states\": {},\n      \"reached_nodes\": {},\n      \
+             \"peak_frontier_nodes\": {},\n      \"peak_live_nodes\": {},\n      \
+             \"lost_possible\": {},\n      \"dead_transitions\": {},\n      \
+             \"deadlock\": {}\n    }}",
+            escape_json(&self.name),
+            self.wall_ms,
+            self.report.machines,
+            self.report.buffers,
+            s.iterations,
+            s.image_steps,
+            s.reached_states
+                .map_or("null".to_owned(), |n| n.to_string()),
+            s.reached_nodes,
+            s.peak_frontier_nodes,
+            s.peak_live_nodes,
+            self.report
+                .lost_events
+                .iter()
+                .filter(|e| e.possible)
+                .count(),
+            self.report.dead_transitions.len(),
+            self.report.deadlock.is_some(),
+        )
+    }
+}
+
+fn run_case(name: &str, net: &Network) -> CaseResult {
+    let start = Instant::now();
+    let report = Verifier::run(net, &VerifyOptions::default())
+        .unwrap_or_else(|e| panic!("{name}: verification failed: {e}"))
+        .report();
+    CaseResult {
+        name: name.to_owned(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        report,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_verify.json".to_owned());
+
+    // Wider chains exceed the default node budget: the reachable set of
+    // the relay topology needs >2^22 live nodes from ~16 machines on.
+    let chain_sizes: &[usize] = if smoke { &[4, 8] } else { &[4, 8, 12] };
+
+    let mut results = Vec::new();
+    for (name, net) in [
+        ("seatbelt", workloads::seat_belt()),
+        ("shock_absorber", workloads::shock_absorber()),
+        ("dashboard", workloads::dashboard()),
+    ] {
+        results.push(run_case(name, &net));
+    }
+    let spec = RandomSpec::default();
+    for &n in chain_sizes {
+        let net = random_network(n, &spec, 0x9e3779b97f4a7c15 ^ n as u64);
+        results.push(run_case(&format!("relay_chain_{n}"), &net));
+    }
+
+    for r in &results {
+        let s = &r.report.stats;
+        println!(
+            "{:<18} {:>9.2} ms  iters {:>3}  images {:>5}  states {:>12}  peak live {:>8}",
+            r.name,
+            r.wall_ms,
+            s.iterations,
+            s.image_steps,
+            s.reached_states
+                .map_or("overflow".to_owned(), |n| n.to_string()),
+            s.peak_live_nodes,
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"verify\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"current\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str("\n    ");
+        json.push_str(&r.to_json());
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("wrote {out}");
+
+    if check {
+        let mut failures = Vec::new();
+        for r in &results {
+            let s = &r.report.stats;
+            if s.iterations == 0 || s.image_steps == 0 {
+                failures.push(format!("{}: traversal did no work", r.name));
+            }
+            match s.reached_states {
+                Some(n) if n >= 2 => {}
+                other => failures.push(format!(
+                    "{}: implausible reachable-state count {other:?}",
+                    r.name
+                )),
+            }
+            if s.peak_live_nodes == 0 {
+                failures.push(format!("{}: peak live nodes not recorded", r.name));
+            }
+            // Every case must stay clearly inside the default 2^22 node
+            // budget (relay_chain_12 is the largest at ~1.35M live).
+            if s.peak_live_nodes > 1 << 21 {
+                failures.push(format!(
+                    "{}: peak live nodes {} above the 2^21 sanity ceiling",
+                    r.name, s.peak_live_nodes
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!("bench check OK");
+        } else {
+            for f in &failures {
+                eprintln!("bench check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -67,5 +67,5 @@ pub use machine::{
     Action, Cfsm, CfsmBuilder, CfsmError, CfsmState, Emission, Guard, ReactError, Reaction,
     StateId, StateVar, TestDef, TestId, Transition, TransitionBuilder,
 };
-pub use network::{Network, NetworkError};
+pub use network::{BufferRef, Network, NetworkError};
 pub use signal::{emit_flag_name, present_flag_name, value_var_name, Signal};

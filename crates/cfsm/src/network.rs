@@ -172,6 +172,28 @@ impl Network {
         out.into_iter().collect()
     }
 
+    /// Every one-place event buffer of the network, in deterministic
+    /// (consumer, input-index) order.
+    ///
+    /// One buffer exists per (consumer machine, input signal) pair
+    /// (Section II-D: each receiver owns a private one-place buffer even
+    /// though emission is broadcast). `driver` is the emitting machine, or
+    /// `None` for primary inputs driven by the environment.
+    pub fn buffers(&self) -> Vec<BufferRef> {
+        let mut out = Vec::new();
+        for (ci, m) in self.cfsms.iter().enumerate() {
+            for (ii, s) in m.inputs().iter().enumerate() {
+                out.push(BufferRef {
+                    consumer: ci,
+                    input: ii,
+                    signal: s.name().to_owned(),
+                    driver: self.driver_of(s.name()),
+                });
+            }
+        }
+        out
+    }
+
     /// Machines in topological order of internal-signal flow (emitters
     /// before consumers), or `None` if the communication graph is cyclic.
     ///
@@ -206,6 +228,20 @@ impl Network {
         }
         (out.len() == n).then_some(out)
     }
+}
+
+/// One one-place event buffer of a network: the receiving side of a
+/// (consumer, input signal) pair. See [`Network::buffers`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferRef {
+    /// Index of the consuming machine.
+    pub consumer: usize,
+    /// Index into the consumer's input list.
+    pub input: usize,
+    /// The signal name.
+    pub signal: String,
+    /// Index of the emitting machine, or `None` for primary inputs.
+    pub driver: Option<usize>,
 }
 
 /// Validation failure while building a [`Network`].
@@ -301,6 +337,33 @@ mod tests {
         let pos = |i: usize| topo.iter().position(|&x| x == i).unwrap();
         assert!(pos(0) < pos(1));
         assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn buffers_enumerate_every_consumer_input() {
+        let net = Network::new(
+            "chain",
+            vec![relay("a", "in", "m1"), relay("b", "m1", "m2")],
+        )
+        .unwrap();
+        let bufs = net.buffers();
+        assert_eq!(
+            bufs,
+            vec![
+                BufferRef {
+                    consumer: 0,
+                    input: 0,
+                    signal: "in".to_owned(),
+                    driver: None,
+                },
+                BufferRef {
+                    consumer: 1,
+                    input: 0,
+                    signal: "m1".to_owned(),
+                    driver: Some(0),
+                },
+            ]
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod random;
 pub mod trace;
 pub mod workloads;
 
-pub use pipeline::{synthesize_cfsm, synthesize_network_staged, Stage, SynthCtx, SynthError};
+pub use pipeline::{
+    synthesize_cfsm, synthesize_network_staged, Stage, SynthCtx, SynthError, SynthFailure,
+};
 pub use trace::{MetricValue, StageRecord, SynthTrace};
 
 use polis_cfsm::{Cfsm, Network, OrderScheme};
@@ -74,6 +76,17 @@ pub struct SynthesisOptions {
     pub buffering: BufferPolicy,
     /// Target cost profile.
     pub profile: Profile,
+    /// Run symbolic network verification (reachability, lost events,
+    /// dead transitions, deadlock) as a network-level stage.
+    pub verify: bool,
+    /// BDD node budget for the verification fixpoint; exceeding it
+    /// aborts the pipeline with [`SynthError::Verify`] (the trace
+    /// recorded so far is preserved in [`SynthFailure`]).
+    pub verify_node_budget: usize,
+    /// Feed the verified reachability invariant back into the
+    /// false-path cycle estimator
+    /// ([`CfsmSynthesis::max_cycles_reach_aware`]). Requires `verify`.
+    pub verify_refine_estimates: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -85,6 +98,9 @@ impl Default for SynthesisOptions {
             collapse: false,
             buffering: BufferPolicy::All,
             profile: Profile::Mcu8,
+            verify: false,
+            verify_node_budget: polis_verify::VerifyOptions::default().node_budget,
+            verify_refine_estimates: false,
         }
     }
 }
@@ -119,6 +135,12 @@ pub struct CfsmSynthesis {
     /// incompatibilities (Section III-C false paths); `None` when no
     /// incompatibilities exist for this machine.
     pub max_cycles_false_path_aware: Option<u64>,
+    /// The false-path bound additionally pruned by the *verified*
+    /// network reachability invariant (never looser than the plain or
+    /// derived bound); `None` unless
+    /// [`SynthesisOptions::verify_refine_estimates`] ran and produced
+    /// incompatibilities for this machine.
+    pub max_cycles_reach_aware: Option<u64>,
     /// Exact object-code measurement.
     pub measured: Measured,
     /// Wall-clock synthesis time (BDD + sift + build + compile).
@@ -156,6 +178,9 @@ pub fn synthesize_traced(cfsm: &Cfsm, opts: &SynthesisOptions) -> (CfsmSynthesis
 pub struct NetworkSynthesis {
     /// Per-machine results, in network order.
     pub machines: Vec<CfsmSynthesis>,
+    /// Symbolic verification verdicts; `Some` iff
+    /// [`SynthesisOptions::verify`] was set.
+    pub verify: Option<polis_verify::VerifyReport>,
     /// Generated RTOS C skeleton.
     pub rtos_c: String,
     /// Total code size including an RTOS allowance.

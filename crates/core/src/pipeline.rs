@@ -23,10 +23,11 @@ use polis_cfsm::{Cfsm, Network, ReactiveFn};
 use polis_codegen::{emit_c, measure_c, two_level_sgraph, CodegenOptions};
 use polis_estimate::{
     calibrate, derive_incompatibilities, estimate, max_cycles_false_path_aware, CostParams,
-    Estimate,
+    Estimate, Incompat,
 };
 use polis_rtos::{emit_rtos_c, RtosConfig};
 use polis_sgraph::{build, collapse, ite_chain, BuildError, CollapseOptions, SGraph};
+use polis_verify::{Verifier, VerifyError, VerifyOptions, VerifyReport};
 use polis_vm::{analyze, assemble, compile, ObjectCode, VmProgram};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -36,17 +37,44 @@ use std::time::Instant;
 pub enum SynthError {
     /// The s-graph builder rejected the reactive function.
     SgraphBuild(BuildError),
+    /// Symbolic network verification aborted (node-budget overflow).
+    Verify(VerifyError),
 }
 
 impl std::fmt::Display for SynthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SynthError::SgraphBuild(e) => write!(f, "s-graph build failed: {e:?}"),
+            SynthError::Verify(e) => write!(f, "network verification failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for SynthError {}
+
+/// A staged-pipeline failure carrying everything recorded before the
+/// abort, so callers can flush a partial trace instead of losing the
+/// run's instrumentation.
+#[derive(Debug)]
+pub struct SynthFailure {
+    /// What went wrong.
+    pub error: SynthError,
+    /// Every stage record completed before (and including) the failing
+    /// stage.
+    pub trace: SynthTrace,
+}
+
+impl std::fmt::Display for SynthFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl std::error::Error for SynthFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// One named pipeline stage: a pure function from `I` to `O` that reports
 /// counters through the context it runs under.
@@ -270,6 +298,76 @@ fn stage_measure(
     Ok(measured)
 }
 
+#[allow(clippy::type_complexity)]
+fn stage_verify(
+    ctx: &mut SynthCtx<'_>,
+    net: &Network,
+) -> Result<(VerifyReport, Vec<Vec<Incompat>>), SynthError> {
+    let vopts = VerifyOptions {
+        node_budget: ctx.opts.verify_node_budget,
+    };
+    let mut v = Verifier::run(net, &vopts).map_err(SynthError::Verify)?;
+    let stats = v.stats();
+    ctx.count("iterations", stats.iterations);
+    ctx.count("image_steps", stats.image_steps);
+    ctx.count("peak_frontier_nodes", stats.peak_frontier_nodes);
+    ctx.count("reached_nodes", stats.reached_nodes);
+    if let Some(states) = stats.reached_states {
+        ctx.count("reached_states", states.min(u128::from(u64::MAX)) as u64);
+    }
+    ctx.count("peak_live_nodes", stats.peak_live_nodes);
+    let incompats = if ctx.opts.verify_refine_estimates {
+        (0..net.cfsms().len())
+            .map(|i| v.presence_incompats(i))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let report = v.report();
+    ctx.count(
+        "lost_possible",
+        report.lost_events.iter().filter(|e| e.possible).count() as u64,
+    );
+    ctx.count("dead_transitions", report.dead_transitions.len() as u64);
+    ctx.count("deadlock", u64::from(report.deadlock.is_some()));
+    Ok((report, incompats))
+}
+
+#[allow(clippy::type_complexity)]
+fn stage_refine(
+    ctx: &mut SynthCtx<'_>,
+    (net, machines, reach_incompats): (&Network, &mut [CfsmSynthesis], &[Vec<Incompat>]),
+) -> Result<(), SynthError> {
+    let mut refined = 0u64;
+    let mut tightened = 0u64;
+    for (i, m) in net.cfsms().iter().enumerate() {
+        let mut merged = derive_incompatibilities(m);
+        for inc in &reach_incompats[i] {
+            if !merged.contains(inc) {
+                merged.push(*inc);
+            }
+        }
+        if merged.is_empty() {
+            continue;
+        }
+        let bound = max_cycles_false_path_aware(m, &machines[i].graph, ctx.params, &merged);
+        // Never looser than the derived-only bound (or the plain
+        // estimate when no derived bound exists).
+        let baseline = machines[i]
+            .max_cycles_false_path_aware
+            .unwrap_or(machines[i].estimate.max_cycles);
+        let reach_aware = bound.min(baseline);
+        machines[i].max_cycles_reach_aware = Some(reach_aware);
+        refined += 1;
+        if reach_aware < baseline {
+            tightened += 1;
+        }
+    }
+    ctx.count("machines_refined", refined);
+    ctx.count("bounds_tightened", tightened);
+    Ok(())
+}
+
 fn stage_rtos(
     ctx: &mut SynthCtx<'_>,
     (net, config): (&Network, &RtosConfig),
@@ -388,6 +486,7 @@ pub fn synthesize_cfsm(ctx: &mut SynthCtx<'_>, cfsm: &Cfsm) -> Result<CfsmSynthe
         object,
         estimate: est,
         max_cycles_false_path_aware,
+        max_cycles_reach_aware: None,
         measured,
         synthesis_time,
     })
@@ -402,25 +501,40 @@ pub fn synthesize_cfsm(ctx: &mut SynthCtx<'_>, cfsm: &Cfsm) -> Result<CfsmSynthe
 /// per-machine traces are merged in network order, so the returned
 /// [`NetworkSynthesis`] — including every byte of generated C — is
 /// identical for every `jobs` value. Only wall-clock timings vary.
+///
+/// When `opts.verify` is set, a network-level `verify` stage runs the
+/// symbolic reachability engine after the machines are synthesized (and
+/// a `refine` stage feeds the reachability invariant back into the
+/// false-path estimates when `opts.verify_refine_estimates` is also
+/// set). On any failure the [`SynthFailure`] carries every stage record
+/// completed up to the abort, so callers can still flush the trace.
 pub fn synthesize_network_staged(
     net: &Network,
     opts: &SynthesisOptions,
     rtos: &RtosConfig,
     jobs: usize,
-) -> Result<(NetworkSynthesis, SynthTrace), SynthError> {
+) -> Result<(NetworkSynthesis, SynthTrace), SynthFailure> {
     let params = calibrate(opts.profile);
     let cfsms = net.cfsms();
     let n = cfsms.len();
     let jobs = jobs.clamp(1, n.max(1));
     let start = Instant::now();
 
-    let mut slots: Vec<Option<Result<(CfsmSynthesis, SynthTrace), SynthError>>> =
-        (0..n).map(|_| None).collect();
+    type Slot = Result<(CfsmSynthesis, SynthTrace), (SynthError, SynthTrace)>;
+    let run_one = |i: usize| -> Slot {
+        let mut ctx = SynthCtx::new(opts, &params);
+        let r = synthesize_cfsm(&mut ctx, &cfsms[i]);
+        let t = ctx.into_trace();
+        match r {
+            Ok(s) => Ok((s, t)),
+            Err(e) => Err((e, t)),
+        }
+    };
+
+    let mut slots: Vec<Option<Slot>> = (0..n).map(|_| None).collect();
     if jobs <= 1 {
         for (i, slot) in slots.iter_mut().enumerate() {
-            let mut ctx = SynthCtx::new(opts, &params);
-            let r = synthesize_cfsm(&mut ctx, &cfsms[i]);
-            *slot = Some(r.map(|s| (s, ctx.into_trace())));
+            *slot = Some(run_one(i));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -428,7 +542,7 @@ pub fn synthesize_network_staged(
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
                     let next = &next;
-                    let params = &params;
+                    let run_one = &run_one;
                     scope.spawn(move || {
                         let mut claimed = Vec::new();
                         loop {
@@ -436,9 +550,7 @@ pub fn synthesize_network_staged(
                             if i >= n {
                                 break;
                             }
-                            let mut ctx = SynthCtx::new(opts, params);
-                            let r = synthesize_cfsm(&mut ctx, &cfsms[i]);
-                            claimed.push((i, r.map(|s| (s, ctx.into_trace()))));
+                            claimed.push((i, run_one(i)));
                         }
                         claimed
                     })
@@ -458,21 +570,64 @@ pub fn synthesize_network_staged(
     let mut machines = Vec::with_capacity(n);
     let mut trace = SynthTrace::new();
     for slot in slots {
-        let (synth, t) = slot.expect("every machine index was claimed")?;
-        machines.push(synth);
-        trace.extend(t);
+        match slot.expect("every machine index was claimed") {
+            Ok((synth, t)) => {
+                machines.push(synth);
+                trace.extend(t);
+            }
+            Err((error, t)) => {
+                trace.extend(t);
+                return Err(SynthFailure { error, trace });
+            }
+        }
     }
     let synthesis_time = start.elapsed();
 
+    let mut verify_report = None;
+    if opts.verify {
+        let mut net_ctx = SynthCtx::new(opts, &params);
+        let verified = net_ctx.run_stage(
+            Stage {
+                name: "verify",
+                run: stage_verify,
+            },
+            net,
+        );
+        trace.extend(net_ctx.into_trace());
+        let (report, reach_incompats) = match verified {
+            Ok(v) => v,
+            Err(error) => return Err(SynthFailure { error, trace }),
+        };
+        verify_report = Some(report);
+        if opts.verify_refine_estimates {
+            let mut net_ctx = SynthCtx::new(opts, &params);
+            let refined = net_ctx.run_stage(
+                Stage {
+                    name: "refine",
+                    run: stage_refine,
+                },
+                (net, machines.as_mut_slice(), reach_incompats.as_slice()),
+            );
+            trace.extend(net_ctx.into_trace());
+            if let Err(error) = refined {
+                return Err(SynthFailure { error, trace });
+            }
+        }
+    }
+
     let mut net_ctx = SynthCtx::new(opts, &params);
-    let rtos_c = net_ctx.run_stage(
+    let rtos_result = net_ctx.run_stage(
         Stage {
             name: "rtos",
             run: stage_rtos,
         },
         (net, rtos),
-    )?;
+    );
     trace.extend(net_ctx.into_trace());
+    let rtos_c = match rtos_result {
+        Ok(c) => c,
+        Err(error) => return Err(SynthFailure { error, trace }),
+    };
 
     let total_rom = machines.iter().map(|m| m.measured.size_bytes).sum::<u64>() + RTOS_ROM_BYTES;
     let total_ram =
@@ -480,6 +635,7 @@ pub fn synthesize_network_staged(
     Ok((
         NetworkSynthesis {
             machines,
+            verify: verify_report,
             rtos_c,
             total_rom,
             total_ram,

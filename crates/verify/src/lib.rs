@@ -1,0 +1,499 @@
+//! Symbolic reachability and conformance checking for CFSM networks.
+//!
+//! The POLIS flow argues correctness of synthesized software against the
+//! GALS network semantics of Section II-D: machines react one at a time,
+//! events travel through lossy one-place buffers, and the environment
+//! may deliver primary inputs at any moment. This crate builds the
+//! network's product transition relation as characteristic-function BDDs
+//! (from [`polis_cfsm::ReactiveFn`], with current/next variable rails
+//! and one fill bit per buffer), runs frontier-based image computation
+//! to a fixpoint, and evaluates three verdicts against the reachable
+//! set:
+//!
+//! 1. **lost events** — a reachable state has a full buffer while its
+//!    emitter can fire an emitting reaction (the buffer would be
+//!    overwritten, matching `rtos::sim`'s `overwritten` counters);
+//! 2. **dead transitions** — priority-resolved transition conditions no
+//!    reachable state enables for any data valuation;
+//! 3. **deadlock** — a reachable state with a pending event that no
+//!    machine can ever consume.
+//!
+//! Data is abstracted: test variables are free, so the reachable set
+//! over-approximates every concrete schedule. Lost-event and deadlock
+//! *possible* verdicts are therefore sound alarms (a concrete loss
+//! implies a symbolic one), and dead-transition verdicts are sound
+//! proofs (symbolically dead implies concretely dead).
+//!
+//! The reachable-state invariant is exported as event-level
+//! incompatibility pairs ([`Verifier::presence_incompats`]) which
+//! `estimate::falsepath` consumes to prune provably-unreachable s-graph
+//! paths, tightening per-machine cycle bounds.
+//!
+//! # Examples
+//!
+//! ```
+//! use polis_cfsm::{Cfsm, Network};
+//! use polis_verify::{verify_network, VerifyOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = Cfsm::builder("echo");
+//! b.input_pure("ping");
+//! b.output_pure("pong");
+//! let s = b.ctrl_state("s");
+//! b.transition(s, s).when_present("ping").emit("pong").done();
+//! let net = Network::new("single", vec![b.build()?])?;
+//!
+//! let report = verify_network(&net, &VerifyOptions::default())?;
+//! assert!(report.deadlock.is_none());
+//! assert!(report.dead_transitions.is_empty());
+//! // The environment can always redeliver before `echo` reacts.
+//! assert!(report.lost_possible("echo"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod checks;
+mod model;
+mod reach;
+
+use model::NetworkModel;
+use polis_bdd::NodeRef;
+use polis_cfsm::Network;
+use polis_estimate::Incompat;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Traversal configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Maximum number of allocated BDD nodes the traversal may keep
+    /// live; exceeded after reclamation ⇒
+    /// [`VerifyError::NodeBudgetExceeded`].
+    pub node_budget: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            node_budget: 1 << 22,
+        }
+    }
+}
+
+/// A failure during symbolic traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The BDD arena exceeded [`VerifyOptions::node_budget`] even after
+    /// reclaiming dead nodes.
+    NodeBudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+        /// Live nodes at the point of failure.
+        allocated: usize,
+        /// Image steps completed before the abort.
+        image_steps: u64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NodeBudgetExceeded {
+                budget,
+                allocated,
+                image_steps,
+            } => write!(
+                f,
+                "BDD node budget exceeded during reachability: \
+                 {allocated} live nodes > budget {budget} after {image_steps} image steps"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Counters from one traversal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Breadth-first iterations to the fixpoint.
+    pub iterations: u64,
+    /// Individual partition images computed.
+    pub image_steps: u64,
+    /// Frontier BDD size after each iteration.
+    pub frontier_sizes: Vec<u64>,
+    /// Largest frontier BDD.
+    pub peak_frontier_nodes: u64,
+    /// BDD size of the final reachable set.
+    pub reached_nodes: u64,
+    /// Number of reachable product states (`None` on counter overflow).
+    pub reached_states: Option<u128>,
+    /// Peak live nodes in the manager over the whole traversal.
+    pub peak_live_nodes: u64,
+    /// Wall-clock time of model construction plus traversal.
+    pub wall: Duration,
+}
+
+/// Lost-event verdict for one buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LostEvent {
+    /// The consuming machine.
+    pub consumer: String,
+    /// The buffered signal.
+    pub signal: String,
+    /// The emitting machine (`None` = environment-driven).
+    pub driver: Option<String>,
+    /// Whether a reachable state can overwrite the buffer.
+    pub possible: bool,
+}
+
+/// A transition no reachable state ever enables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadTransition {
+    /// The owning machine.
+    pub machine: String,
+    /// Index into the machine's transition list (declaration order).
+    pub transition: usize,
+    /// Source state name.
+    pub from: String,
+    /// Target state name.
+    pub to: String,
+}
+
+/// A concrete reachable deadlock state, one line per machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockWitness {
+    /// `machine@state pending[signals...]` per machine.
+    pub description: Vec<String>,
+}
+
+/// Everything one verification run produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// The verified network's name.
+    pub network: String,
+    /// Number of machines.
+    pub machines: usize,
+    /// Number of one-place buffers.
+    pub buffers: usize,
+    /// Traversal counters.
+    pub stats: VerifyStats,
+    /// Per-buffer lost-event verdicts, in (consumer, input) order.
+    pub lost_events: Vec<LostEvent>,
+    /// Dead transitions (empty = every transition reachable).
+    pub dead_transitions: Vec<DeadTransition>,
+    /// A reachable global deadlock, if any.
+    pub deadlock: Option<DeadlockWitness>,
+}
+
+impl VerifyReport {
+    /// Whether any buffer of `consumer` can lose an event.
+    pub fn lost_possible(&self, consumer: &str) -> bool {
+        self.lost_events
+            .iter()
+            .any(|e| e.consumer == consumer && e.possible)
+    }
+
+    /// Whether any buffer at all can lose an event.
+    pub fn any_lost_possible(&self) -> bool {
+        self.lost_events.iter().any(|e| e.possible)
+    }
+
+    /// Human-readable multi-line summary (the `polis verify` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "network `{}`: {} machines, {} buffers\n",
+            self.network, self.machines, self.buffers
+        ));
+        let states = self
+            .stats
+            .reached_states
+            .map_or("overflow".to_owned(), |n| n.to_string());
+        out.push_str(&format!(
+            "fixpoint: {} iterations, {} image steps, {} reachable states ({} nodes, peak frontier {}, peak live {})\n",
+            self.stats.iterations,
+            self.stats.image_steps,
+            states,
+            self.stats.reached_nodes,
+            self.stats.peak_frontier_nodes,
+            self.stats.peak_live_nodes,
+        ));
+        out.push_str("lost events:\n");
+        for e in &self.lost_events {
+            let from = e.driver.as_deref().unwrap_or("env");
+            let verdict = if e.possible { "POSSIBLE" } else { "never" };
+            out.push_str(&format!(
+                "  {} -> {}.{}: {}\n",
+                from, e.consumer, e.signal, verdict
+            ));
+        }
+        if self.dead_transitions.is_empty() {
+            out.push_str("dead transitions: none\n");
+        } else {
+            out.push_str("dead transitions:\n");
+            for d in &self.dead_transitions {
+                out.push_str(&format!(
+                    "  {} #{} ({} -> {})\n",
+                    d.machine, d.transition, d.from, d.to
+                ));
+            }
+        }
+        match &self.deadlock {
+            None => out.push_str("deadlock: none\n"),
+            Some(w) => {
+                out.push_str("deadlock: REACHABLE\n");
+                for line in &w.description {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A completed traversal holding the reachable set, for report
+/// generation and invariant export.
+pub struct Verifier<'n> {
+    net: &'n Network,
+    model: NetworkModel,
+    reached: NodeRef,
+    stats: VerifyStats,
+}
+
+impl<'n> Verifier<'n> {
+    /// Builds the symbolic model of `net` and runs reachability to a
+    /// fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::NodeBudgetExceeded`] when the arena outgrows
+    /// `opts.node_budget`.
+    pub fn run(net: &'n Network, opts: &VerifyOptions) -> Result<Verifier<'n>, VerifyError> {
+        let start = Instant::now();
+        let mut model = NetworkModel::build(net);
+        let mut stats = VerifyStats::default();
+        let reached = reach::fixpoint(&mut model, opts, &mut stats)?;
+        stats.wall = start.elapsed();
+        Ok(Verifier {
+            net,
+            model,
+            reached,
+            stats,
+        })
+    }
+
+    /// Traversal counters.
+    pub fn stats(&self) -> &VerifyStats {
+        &self.stats
+    }
+
+    /// Evaluates all three checks against the reachable set.
+    pub fn report(&mut self) -> VerifyReport {
+        let lost = checks::lost_events(&mut self.model, self.net, self.reached);
+        let dead = checks::dead_transitions(&mut self.model, self.net, self.reached);
+        let deadlock = checks::deadlock(&mut self.model, self.net, self.reached);
+        VerifyReport {
+            network: self.net.name().to_owned(),
+            machines: self.net.cfsms().len(),
+            buffers: self.net.buffers().len(),
+            stats: self.stats.clone(),
+            lost_events: lost,
+            dead_transitions: dead,
+            deadlock,
+        }
+    }
+
+    /// Event-level incompatibilities for `machine`: input-presence
+    /// polarity pairs no reachable state exhibits, in the exact shape
+    /// `estimate::falsepath` consumes.
+    pub fn presence_incompats(&mut self, machine: usize) -> Vec<Incompat> {
+        checks::presence_incompats(&mut self.model, self.reached, machine)
+    }
+}
+
+/// One-shot convenience: [`Verifier::run`] followed by
+/// [`Verifier::report`].
+///
+/// # Errors
+///
+/// Propagates [`Verifier::run`] failures.
+pub fn verify_network(net: &Network, opts: &VerifyOptions) -> Result<VerifyReport, VerifyError> {
+    Ok(Verifier::run(net, opts)?.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polis_cfsm::Cfsm;
+    use polis_estimate::PathAtom;
+    use polis_expr::{Expr, Type, Value};
+
+    /// tick -> [toggler] -> tock -> [sink].
+    fn toggler_pair() -> Network {
+        let mut b = Cfsm::builder("toggler");
+        b.input_pure("tick");
+        b.output_pure("tock");
+        let s0 = b.ctrl_state("off");
+        let s1 = b.ctrl_state("on");
+        b.transition(s0, s1)
+            .when_present("tick")
+            .emit("tock")
+            .done();
+        b.transition(s1, s0)
+            .when_present("tick")
+            .emit("tock")
+            .done();
+        let toggler = b.build().unwrap();
+
+        let mut b = Cfsm::builder("sink");
+        b.input_pure("tock");
+        b.output_pure("seen");
+        let s = b.ctrl_state("s");
+        b.transition(s, s).when_present("tock").emit("seen").done();
+        let sink = b.build().unwrap();
+        Network::new("pair", vec![toggler, sink]).unwrap()
+    }
+
+    #[test]
+    fn toggler_pair_full_product_is_reachable() {
+        let net = toggler_pair();
+        let report = verify_network(&net, &VerifyOptions::default()).unwrap();
+        // State bits: toggler.tick flag, toggler ctrl, sink.tock flag —
+        // all 8 combinations are reachable.
+        assert_eq!(report.stats.reached_states, Some(8));
+        assert!(report.stats.iterations > 0);
+        assert!(report.stats.image_steps > 0);
+        assert!(report.deadlock.is_none());
+        assert!(report.dead_transitions.is_empty());
+        // Primary input: the environment can always redeliver.
+        assert!(report
+            .lost_events
+            .iter()
+            .any(|e| e.consumer == "toggler" && e.signal == "tick" && e.possible));
+        // Internal buffer: toggler can emit while `tock` is pending.
+        assert!(report.lost_events.iter().any(|e| e.consumer == "sink"
+            && e.signal == "tock"
+            && e.driver.as_deref() == Some("toggler")
+            && e.possible));
+        assert!(report.render().contains("deadlock: none"));
+    }
+
+    #[test]
+    fn shadowed_transition_is_dead() {
+        let mut b = Cfsm::builder("shadow");
+        b.input_pure("p");
+        b.output_pure("a");
+        b.output_pure("b");
+        let s = b.ctrl_state("s");
+        b.transition(s, s).when_present("p").emit("a").done();
+        // Same guard, declared later: priority resolution kills it.
+        b.transition(s, s).when_present("p").emit("b").done();
+        let net = Network::new("shadowed", vec![b.build().unwrap()]).unwrap();
+        let report = verify_network(&net, &VerifyOptions::default()).unwrap();
+        assert_eq!(report.dead_transitions.len(), 1);
+        assert_eq!(report.dead_transitions[0].machine, "shadow");
+        assert_eq!(report.dead_transitions[0].transition, 1);
+    }
+
+    #[test]
+    fn one_shot_machine_deadlocks_on_redelivery() {
+        let mut b = Cfsm::builder("oneshot");
+        b.input_pure("x");
+        b.output_pure("done");
+        let s0 = b.ctrl_state("armed");
+        let s1 = b.ctrl_state("spent");
+        b.transition(s0, s1).when_present("x").emit("done").done();
+        let net = Network::new("oneshot", vec![b.build().unwrap()]).unwrap();
+        let report = verify_network(&net, &VerifyOptions::default()).unwrap();
+        let w = report.deadlock.expect("redelivered `x` is stuck forever");
+        assert_eq!(w.description, vec!["oneshot@spent pending[x]".to_owned()]);
+    }
+
+    /// The token ring from the false-path integration: `driver` emits `p`
+    /// once (on the primary `start`), then emits `q` only after `worker`
+    /// has consumed `p` and handed back `tok`. So `p` and `q` can never
+    /// be pending at `worker` simultaneously.
+    fn token_ring() -> Network {
+        let mut b = Cfsm::builder("driver");
+        b.input_pure("start");
+        b.input_pure("tok");
+        b.output_pure("p");
+        b.output_pure("q");
+        let s0 = b.ctrl_state("idle");
+        let s1 = b.ctrl_state("sent_p");
+        let s2 = b.ctrl_state("sent_q");
+        b.transition(s0, s1).when_present("start").emit("p").done();
+        b.transition(s1, s2).when_present("tok").emit("q").done();
+        let driver = b.build().unwrap();
+
+        let mut b = Cfsm::builder("worker");
+        b.input_pure("p");
+        b.input_pure("q");
+        b.output_pure("tok");
+        b.output_pure("out");
+        b.state_var("n", Type::uint(8), Value::Int(0));
+        let s = b.ctrl_state("s");
+        // The expensive both-present reaction is unreachable.
+        b.transition(s, s)
+            .when_present("p")
+            .when_present("q")
+            .emit("out")
+            .assign("n", Expr::var("n").mul(Expr::var("n")).div(Expr::int(3)))
+            .done();
+        b.transition(s, s).when_present("p").emit("tok").done();
+        b.transition(s, s).when_present("q").emit("out").done();
+        let worker = b.build().unwrap();
+        Network::new("token_ring", vec![driver, worker]).unwrap()
+    }
+
+    #[test]
+    fn token_ring_excludes_joint_presence() {
+        let net = token_ring();
+        let mut v = Verifier::run(&net, &VerifyOptions::default()).unwrap();
+        let report = v.report();
+        // The both-present transition of `worker` is dead...
+        assert!(report
+            .dead_transitions
+            .iter()
+            .any(|d| d.machine == "worker" && d.transition == 0));
+        // ...and the exported invariant says (p ∧ q) is unreachable.
+        let worker = net.machine_index("worker").unwrap();
+        let incs = v.presence_incompats(worker);
+        assert!(
+            incs.contains(&Incompat {
+                a: (PathAtom::Present(0), true),
+                b: (PathAtom::Present(1), true),
+            }),
+            "{incs:?}"
+        );
+        // Soundness: each flag alone IS reachable, so neither single
+        // polarity pair (true, false) in both orders can be claimed...
+        assert!(!incs.contains(&Incompat {
+            a: (PathAtom::Present(0), false),
+            b: (PathAtom::Present(1), false),
+        }));
+    }
+
+    #[test]
+    fn node_budget_aborts_gracefully() {
+        let net = toggler_pair();
+        let err = match Verifier::run(&net, &VerifyOptions { node_budget: 4 }) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a node-budget abort"),
+        };
+        let VerifyError::NodeBudgetExceeded {
+            budget, allocated, ..
+        } = err;
+        assert_eq!(budget, 4);
+        assert!(allocated > 4);
+        assert!(err.to_string().contains("node budget exceeded"));
+    }
+
+    #[test]
+    fn options_default_is_generous() {
+        let o = VerifyOptions::default();
+        assert!(o.node_budget >= 1 << 20);
+    }
+}

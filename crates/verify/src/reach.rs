@@ -1,0 +1,127 @@
+//! Frontier-based symbolic reachability to a fixpoint.
+//!
+//! Classic BFS image computation: `Reached₀ = Frontier₀ = Init`, then
+//! repeatedly `New = ⋃ Image(step, Frontier) ∖ Reached` over the
+//! partitioned relation until the frontier empties. Each image applies
+//! the early-quantification schedule pre-computed in the step (tests
+//! right after `χ`, actions right after the buffer updates, the consumed
+//! current-state block last) so intermediate products never carry
+//! variables that a later conjunct no longer needs.
+//!
+//! The arena is bounded by [`VerifyOptions::node_budget`]: after every
+//! image the allocation level is checked, dead nodes are reclaimed
+//! against the persistent roots, and if the live set alone exceeds the
+//! budget the traversal aborts with
+//! [`VerifyError::NodeBudgetExceeded`] instead of growing without bound.
+
+use crate::model::{EnvStep, NetworkModel, ReactStep};
+use crate::{VerifyError, VerifyOptions, VerifyStats};
+use polis_bdd::{Bdd, NodeRef};
+
+/// One environment-delivery image: quantify the consumer flags, then set
+/// them. Pure current-variable substitution — no renaming needed.
+fn env_image(bdd: &mut Bdd, step: &EnvStep, from: NodeRef) -> NodeRef {
+    let mut a = bdd.exists_all(from, step.flags.iter().copied());
+    for &f in &step.flags {
+        let lit = bdd.var(f);
+        a = bdd.and(a, lit);
+    }
+    a
+}
+
+/// One machine-reaction image with early quantification.
+fn react_image(bdd: &mut Bdd, step: &ReactStep, from: NodeRef) -> NodeRef {
+    let mut a = bdd.and(from, step.chi_fire);
+    a = bdd.exists_all(a, step.q_tests.iter().copied());
+    a = bdd.and(a, step.update);
+    a = bdd.exists_all(a, step.q_acts.iter().copied());
+    a = bdd.and(a, step.own_clear);
+    a = bdd.exists_all(a, step.q_cur.iter().copied());
+    bdd.rename(a, &step.rename)
+}
+
+/// Reclaims dead nodes and errors out if the live set still exceeds the
+/// budget. `live` are the traversal's working roots, kept alongside the
+/// model's persistent roots.
+fn enforce_budget(
+    model: &mut NetworkModel,
+    opts: &VerifyOptions,
+    stats: &VerifyStats,
+    live: &[NodeRef],
+) -> Result<(), VerifyError> {
+    if model.bdd.allocated_nodes() <= opts.node_budget {
+        return Ok(());
+    }
+    let mut roots = model.persistent_roots();
+    roots.extend_from_slice(live);
+    model.bdd.gc(&roots);
+    let allocated = model.bdd.allocated_nodes();
+    if allocated > opts.node_budget {
+        return Err(VerifyError::NodeBudgetExceeded {
+            budget: opts.node_budget,
+            allocated,
+            image_steps: stats.image_steps,
+        });
+    }
+    Ok(())
+}
+
+/// Runs the traversal to a fixpoint, filling `stats`, and returns the
+/// reachable set over the model's current-state variables.
+pub(crate) fn fixpoint(
+    model: &mut NetworkModel,
+    opts: &VerifyOptions,
+    stats: &mut VerifyStats,
+) -> Result<NodeRef, VerifyError> {
+    let mut reached = model.init;
+    let mut frontier = model.init;
+    while !frontier.is_false() {
+        stats.iterations += 1;
+        let mut new = NodeRef::FALSE;
+        let env_steps = std::mem::take(&mut model.env_steps);
+        for step in &env_steps {
+            let img = env_image(&mut model.bdd, step, frontier);
+            new = model.bdd.or(new, img);
+            stats.image_steps += 1;
+        }
+        model.env_steps = env_steps;
+        let react_steps = std::mem::take(&mut model.react_steps);
+        let mut budget_hit = Ok(());
+        for step in &react_steps {
+            let img = react_image(&mut model.bdd, step, frontier);
+            new = model.bdd.or(new, img);
+            stats.image_steps += 1;
+            budget_hit = enforce_budget(model, opts, stats, &[reached, frontier, new]);
+            if budget_hit.is_err() {
+                break;
+            }
+        }
+        model.react_steps = react_steps;
+        budget_hit?;
+        let unseen = model.bdd.not(reached);
+        frontier = model.bdd.and(new, unseen);
+        reached = model.bdd.or(reached, frontier);
+        let fsize = model.bdd.size(&[frontier]) as u64;
+        stats.frontier_sizes.push(fsize);
+        stats.peak_frontier_nodes = stats.peak_frontier_nodes.max(fsize);
+        enforce_budget(model, opts, stats, &[reached, frontier])?;
+    }
+    stats.reached_nodes = model.bdd.size(&[reached]) as u64;
+    stats.peak_live_nodes = model.bdd.stats().peak_live_nodes;
+    stats.reached_states = count_states(model, reached);
+    Ok(reached)
+}
+
+/// Number of distinct product states in `set`: the satisfying-assignment
+/// count scaled down by the auxiliary (non-state) variables the set does
+/// not depend on.
+pub(crate) fn count_states(model: &NetworkModel, set: NodeRef) -> Option<u128> {
+    let total = model.bdd.checked_sat_count(set)?;
+    let aux = model.bdd.num_vars() - model.state_vars.len();
+    if aux >= 128 {
+        // More auxiliary variables than u128 bits: the scaled count is 0
+        // or the total overflowed anyway; give up rather than mis-shift.
+        return None;
+    }
+    Some(total >> aux)
+}

@@ -1,11 +1,14 @@
 //! The dashboard controller (Section V-A): synthesize all eight CFSMs,
-//! print the per-module cost table, and co-simulate the whole network
-//! through its generated RTOS against a sensor stimulus.
+//! print the per-module cost table, verify the network symbolically
+//! (reachability, lost events, dead transitions, deadlock), and
+//! co-simulate the whole network through its generated RTOS against a
+//! sensor stimulus.
 //!
 //! Run with `cargo run --example dashboard`.
 
 use polis::core::{synthesize_network, workloads, SynthesisOptions};
 use polis::rtos::{RtosConfig, Simulator, Stimulus};
+use polis::verify::{verify_network, VerifyOptions};
 
 fn main() {
     let net = workloads::dashboard();
@@ -35,6 +38,13 @@ fn main() {
         "total ROM {} B (incl. RTOS), total RAM {} B, synthesis {:?}",
         result.total_rom, result.total_ram, result.synthesis_time
     );
+
+    // Symbolic reachability over the full CFSM product: which one-place
+    // buffers can overwrite, which transitions can never fire, whether a
+    // pending event can get stuck.
+    let report = verify_network(&net, &VerifyOptions::default()).unwrap();
+    println!("\n--- symbolic verification ---");
+    println!("{}", report.render());
 
     // Drive the sensor chain: a burst of wheel/engine pulses, a timebase
     // window tick, and a fuel sample.

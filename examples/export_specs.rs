@@ -1,0 +1,28 @@
+//! Exports the built-in evaluation workloads as textual specification
+//! files under `examples/specs/`, so the `polis` CLI (and CI) can run on
+//! the exact networks the library tests use.
+//!
+//! Run with `cargo run --example export_specs`.
+
+use polis::cfsm::Network;
+use polis::core::workloads;
+use polis::lang::emit_network_source;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let simple = Network::new("simple", vec![workloads::simple()])?;
+    let nets = [
+        simple,
+        workloads::dashboard(),
+        workloads::shock_absorber(),
+        workloads::seat_belt(),
+    ];
+    let dir = Path::new("examples/specs");
+    std::fs::create_dir_all(dir)?;
+    for net in &nets {
+        let path = dir.join(format!("{}.pol", net.name()));
+        std::fs::write(&path, emit_network_source(net))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -11,13 +11,22 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 echo "==> kernel bench smoke (regression thresholds)"
 ./target/release/kernel --smoke --check --out /tmp/bench_bdd_kernel_smoke.json
+
+echo "==> symbolic verification of the example networks"
+for spec in examples/specs/*.pol; do
+  echo "--- polis verify $spec"
+  ./target/release/polis verify "$spec"
+done
+
+echo "==> verify bench smoke (sanity thresholds)"
+./target/release/verify --smoke --check --out /tmp/bench_verify_smoke.json
 
 echo "CI OK"

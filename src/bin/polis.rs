@@ -7,6 +7,7 @@
 //!                    [--buffering all|minimal] [--collapse]
 //! polis estimate <spec> [same options]
 //! polis sim <spec> --stim <file> [--policy rr|prio] [--target ...]
+//! polis verify <spec> [--node-budget N]
 //! polis dot <spec> [--module NAME]
 //! ```
 //!
@@ -22,6 +23,7 @@ use polis::core::{
 use polis::lang::parse_network;
 use polis::rtos::{RtosConfig, SchedulingPolicy, Simulator, Stimulus};
 use polis::sgraph::BufferPolicy;
+use polis::verify::{verify_network, VerifyOptions};
 use polis::vm::Profile;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -93,6 +95,7 @@ fn takes_value(name: &str) -> bool {
             | "module"
             | "jobs"
             | "trace"
+            | "node-budget"
     )
 }
 
@@ -105,6 +108,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "synth" => synth(&args),
         "estimate" => estimate_cmd(&args),
         "sim" => sim(&args),
+        "verify" => verify_cmd(&args),
         "dot" => dot(&args),
         "fmt" => fmt(&args),
         "help" | "--help" => {
@@ -119,9 +123,10 @@ fn usage() -> String {
     "usage:\n  \
      polis synth <spec> [-o DIR] [--style dg|chain|2lvl] [--target mcu8|risc32]\n    \
        [--scheme natural|after-inputs|after-support] [--buffering all|minimal] [--collapse]\n    \
-       [--jobs N] [--trace FILE]\n  \
+       [--jobs N] [--trace FILE] [--verify] [--refine] [--node-budget N]\n  \
      polis estimate <spec> [same options]\n  \
      polis sim <spec> --stim <file> [--policy rr|prio] [--target mcu8|risc32]\n  \
+     polis verify <spec> [--node-budget N]\n  \
      polis dot <spec> [--module NAME]\n  \
      polis fmt <spec>"
         .to_owned()
@@ -169,6 +174,15 @@ fn options(args: &Args) -> Result<SynthesisOptions, String> {
         };
     }
     opts.collapse = args.has("collapse");
+    opts.verify = args.has("verify") || args.has("refine");
+    opts.verify_refine_estimates = args.has("refine");
+    if let Some(budget) = args.flag("node-budget") {
+        opts.verify_node_budget = budget
+            .parse::<usize>()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| format!("--node-budget takes a positive integer, got `{budget}`"))?;
+    }
     Ok(opts)
 }
 
@@ -226,8 +240,20 @@ fn synth(args: &Args) -> Result<(), String> {
         )],
     });
     let (result, synth_trace) =
-        synthesize_network_staged(&net, &opts, &RtosConfig::default(), jobs)
-            .map_err(|e| e.to_string())?;
+        match synthesize_network_staged(&net, &opts, &RtosConfig::default(), jobs) {
+            Ok(r) => r,
+            Err(failure) => {
+                // Flush the partial trace before reporting the abort, so
+                // an interrupted run still leaves its instrumentation.
+                trace.extend(failure.trace);
+                if let Some(trace_path) = args.flag("trace") {
+                    std::fs::write(trace_path, trace.to_json())
+                        .map_err(|e| format!("cannot write `{trace_path}`: {e}"))?;
+                    eprintln!("polis: wrote partial trace to {trace_path}");
+                }
+                return Err(failure.error.to_string());
+            }
+        };
     trace.extend(synth_trace);
 
     let out_dir = PathBuf::from(args.flag("o").unwrap_or("."));
@@ -251,6 +277,41 @@ fn synth(args: &Args) -> Result<(), String> {
     }
     println!();
     cost_table(&net, &result);
+    if let Some(report) = &result.verify {
+        println!();
+        print!("{}", report.render());
+        if opts.verify_refine_estimates {
+            for (m, r) in net.cfsms().iter().zip(&result.machines) {
+                if let Some(reach) = r.max_cycles_reach_aware {
+                    println!(
+                        "{}: max cycles {} (reach-aware {})",
+                        m.name(),
+                        r.estimate.max_cycles,
+                        reach
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_cmd(args: &Args) -> Result<(), String> {
+    let net = load_network(args)?;
+    let mut vopts = VerifyOptions::default();
+    if let Some(budget) = args.flag("node-budget") {
+        vopts.node_budget = budget
+            .parse::<usize>()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| format!("--node-budget takes a positive integer, got `{budget}`"))?;
+    }
+    let report = verify_network(&net, &vopts).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    println!(
+        "verification took {:?} ({} iterations)",
+        report.stats.wall, report.stats.iterations
+    );
     Ok(())
 }
 

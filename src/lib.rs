@@ -22,6 +22,7 @@
 //! | [`codegen`] | C emission and the two-level-jump baseline |
 //! | [`rtos`] | generated RTOS and network co-simulation |
 //! | [`lang`] | textual CFSM specification language |
+//! | [`verify`] | symbolic reachability and conformance checking |
 //! | [`core`] | end-to-end pipeline and evaluation workloads |
 //!
 //! # Examples
@@ -59,4 +60,5 @@ pub use polis_expr as expr;
 pub use polis_lang as lang;
 pub use polis_rtos as rtos;
 pub use polis_sgraph as sgraph;
+pub use polis_verify as verify;
 pub use polis_vm as vm;

@@ -90,6 +90,72 @@ fn sim_runs_a_stimulus_file() {
 }
 
 #[test]
+fn verify_reports_reachability_verdicts() {
+    let dir = tmpdir("verify");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let out = bin().args(["verify", &spec]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fixpoint:"), "{stdout}");
+    assert!(stdout.contains("reachable states"), "{stdout}");
+    // The environment can always redeliver `go` before pinger reacts.
+    assert!(stdout.contains("env -> pinger.go: POSSIBLE"), "{stdout}");
+    assert!(stdout.contains("dead transitions: none"), "{stdout}");
+
+    // An impossibly small node budget aborts with a structured message.
+    let out = bin()
+        .args(["verify", &spec, "--node-budget", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("node budget exceeded"), "{stderr}");
+
+    let bad = bin()
+        .args(["verify", &spec, "--node-budget", "zero"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn synth_verify_flag_appends_report_and_keeps_output_identical() {
+    let dir = tmpdir("synth_verify");
+    let spec = write(&dir, "pp.pol", SPEC);
+    let run = |extra: &[&str], sub: &str| -> (std::path::PathBuf, String) {
+        let gen = dir.join(sub);
+        std::fs::create_dir_all(&gen).unwrap();
+        let out = bin()
+            .args(["synth", &spec, "-o"])
+            .arg(&gen)
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (gen, String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let (plain_dir, plain_out) = run(&[], "plain");
+    let (verified_dir, verified_out) = run(&["--verify"], "verified");
+    assert!(!plain_out.contains("fixpoint:"));
+    assert!(verified_out.contains("fixpoint:"), "{verified_out}");
+    assert!(verified_out.contains("lost events:"), "{verified_out}");
+    // Verification is post-codegen: generated C is byte-identical.
+    for f in ["rtos.c", "pinger.c", "ponger.c", "polis_rtos.h"] {
+        let a = std::fs::read(plain_dir.join(f)).unwrap();
+        let b = std::fs::read(verified_dir.join(f)).unwrap();
+        assert_eq!(a, b, "{f} differs with --verify");
+    }
+}
+
+#[test]
 fn dot_emits_graphviz_for_selected_module() {
     let dir = tmpdir("dot");
     let spec = write(&dir, "pp.pol", SPEC);
