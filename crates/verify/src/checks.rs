@@ -11,7 +11,8 @@ use polis_estimate::{Incompat, PathAtom};
 /// some reachable state has the buffer full while its emitter can fire an
 /// emitting reaction (Section II-D's "events may be lost"). For primary
 /// inputs the environment can always redeliver, so a full buffer alone
-/// suffices.
+/// suffices. (Driver ≠ consumer always: `Cfsm::build` rejects machines
+/// consuming their own output.)
 pub(crate) fn lost_events(
     model: &mut NetworkModel,
     net: &Network,
@@ -73,7 +74,10 @@ pub(crate) fn dead_transitions(
 
 /// Deadlock analysis: a reachable state where at least one buffer is
 /// full yet no machine has an enabled transition for *any* data-test
-/// valuation — pending work nobody can ever consume.
+/// valuation, even after the environment delivers any further primary
+/// inputs — pending work nobody can ever consume. Without the delivery
+/// closure a machine guarded on `p ∧ q` with only `p` pending would be
+/// flagged although the environment can still supply `q`.
 pub(crate) fn deadlock(
     model: &mut NetworkModel,
     net: &Network,
@@ -86,16 +90,30 @@ pub(crate) fn deadlock(
         .collect();
     let pending_lits: Vec<NodeRef> = all_flags.iter().map(|&f| model.bdd.var(f)).collect();
     let pending = model.bdd.or_all(pending_lits);
-    let mut dead = model.bdd.and(reached, pending);
+    let mut fireable = NodeRef::FALSE;
     for i in 0..model.vars.len() {
         let conds = model.conds[i].clone();
         let any = model.bdd.or_all(conds);
         let can_fire = model
             .bdd
             .exists_all(any, model.vars[i].tests.iter().copied());
-        let stuck = model.bdd.not(can_fire);
-        dead = model.bdd.and(dead, stuck);
+        fireable = model.bdd.or(fireable, can_fire);
     }
+    // Close "some machine can fire" under environment deliveries: a
+    // delivery sets every consumer flag of one signal to 1. Deliveries
+    // commute and are idempotent, so one pass over the steps reaches the
+    // fixpoint over arbitrary delivery sequences.
+    let mut can_ever_fire = fireable;
+    for step in &model.env_steps {
+        let mut delivered = can_ever_fire;
+        for &f in &step.flags {
+            delivered = model.bdd.restrict(delivered, f, true);
+        }
+        can_ever_fire = model.bdd.or(can_ever_fire, delivered);
+    }
+    let stuck = model.bdd.not(can_ever_fire);
+    let mut dead = model.bdd.and(reached, pending);
+    dead = model.bdd.and(dead, stuck);
     let cube = model.bdd.pick_cube(dead)?;
     let assign = |v: Var| cube.iter().any(|&(cv, val)| cv == v && val);
     let cfsms = net.cfsms();

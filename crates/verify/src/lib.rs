@@ -16,7 +16,8 @@
 //! 2. **dead transitions** — priority-resolved transition conditions no
 //!    reachable state enables for any data valuation;
 //! 3. **deadlock** — a reachable state with a pending event that no
-//!    machine can ever consume.
+//!    machine can ever consume, no matter which further primary inputs
+//!    the environment delivers.
 //!
 //! Data is abstracted: test variables are free, so the reachable set
 //! over-approximates every concrete schedule. Lost-event and deadlock
@@ -474,6 +475,74 @@ mod tests {
             a: (PathAtom::Present(0), false),
             b: (PathAtom::Present(1), false),
         }));
+    }
+
+    #[test]
+    fn model_invariant_no_self_consuming_machine_is_constructible() {
+        // The `ReactStep` encoding conjoins `flag' ↔ flag ∨ emit` for
+        // consumer buffers and `¬flag'` for the reacting machine's own
+        // buffers; those sets must stay disjoint, which holds because a
+        // machine inputting its own output cannot even be built.
+        let mut b = Cfsm::builder("selfloop");
+        b.input_pure("x");
+        b.output_pure("x");
+        b.ctrl_state("s");
+        assert!(b.build().is_err(), "self-consuming CFSM must be rejected");
+    }
+
+    #[test]
+    fn pending_state_the_environment_can_unblock_is_not_deadlock() {
+        // `join` needs p ∧ q; with only `p` pending it is stuck *now*,
+        // but the environment can always deliver `q`, so no reachable
+        // state is a true deadlock.
+        let mut b = Cfsm::builder("join");
+        b.input_pure("p");
+        b.input_pure("q");
+        b.output_pure("r");
+        let s = b.ctrl_state("s");
+        b.transition(s, s)
+            .when_present("p")
+            .when_present("q")
+            .emit("r")
+            .done();
+        let net = Network::new("join", vec![b.build().unwrap()]).unwrap();
+        let report = verify_network(&net, &VerifyOptions::default()).unwrap();
+        assert!(
+            report.deadlock.is_none(),
+            "env-unblockable pending flagged as deadlock: {:?}",
+            report.deadlock
+        );
+    }
+
+    #[test]
+    fn mid_traversal_gc_is_transparent() {
+        // Budgets below the unconstrained peak force reclamation during
+        // the image loops; every run that still completes must agree
+        // with the unconstrained one (the step relations stay rooted).
+        let net = token_ring();
+        let baseline = verify_network(&net, &VerifyOptions::default()).unwrap();
+        let peak = baseline.stats.peak_live_nodes as usize;
+        let mut completed = 0;
+        for budget in [peak / 2, peak * 2 / 3, peak * 3 / 4, peak - 1] {
+            let Ok(r) = verify_network(
+                &net,
+                &VerifyOptions {
+                    node_budget: budget,
+                },
+            ) else {
+                continue;
+            };
+            completed += 1;
+            assert_eq!(r.stats.reached_states, baseline.stats.reached_states);
+            assert_eq!(r.stats.iterations, baseline.stats.iterations);
+            assert_eq!(r.lost_events, baseline.lost_events);
+            assert_eq!(r.dead_transitions, baseline.dead_transitions);
+            assert_eq!(r.deadlock, baseline.deadlock);
+        }
+        assert!(
+            completed > 0,
+            "no GC-constrained run completed (peak {peak}); the property was vacuous"
+        );
     }
 
     #[test]

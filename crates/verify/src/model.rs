@@ -31,8 +31,10 @@
 //!   imported `χ|consume=1` constrains (flags, ctrl, tests) → (actions,
 //!   next ctrl); the update constraint propagates emissions into consumer
 //!   buffers (`flag' ↔ flag ∨ emitted`); the machine's own buffers are
-//!   cleared (snapshot consumption). Reactions that fire nothing are
-//!   identity steps and are simply omitted.
+//!   cleared (snapshot consumption). The two constraint sets are
+//!   disjoint because no machine consumes its own output — `Cfsm::build`
+//!   rejects that, and the encoding asserts it. Reactions that fire
+//!   nothing are identity steps and are simply omitted.
 //!
 //! A machine may attempt a reaction from any reachable state and the test
 //! variables are unconstrained, so the reachable set over-approximates
@@ -221,6 +223,13 @@ impl NetworkModel {
                 }
                 let emit = emits_signal(&mut bdd, m, &vars[i], oi);
                 for c in consumers {
+                    // A machine never consumes its own output:
+                    // `Cfsm::build` rejects an input named like an output
+                    // (see `machine_cannot_consume_its_own_output` in
+                    // `cfsm::network`). The encoding below depends on it —
+                    // `update` on an own buffer would contradict
+                    // `own_clear` (¬flag') and duplicate a rename source.
+                    debug_assert!(c != i, "self-consuming machine in network");
                     let k = cfsms[c]
                         .input_index(out.name())
                         .expect("consumer has input");

@@ -41,21 +41,22 @@ fn react_image(bdd: &mut Bdd, step: &ReactStep, from: NodeRef) -> NodeRef {
 }
 
 /// Reclaims dead nodes and errors out if the live set still exceeds the
-/// budget. `live` are the traversal's working roots, kept alongside the
-/// model's persistent roots.
+/// budget. `persistent` are the model's fixed roots (relation, init,
+/// enabling conditions); `live` are the traversal's working roots.
 fn enforce_budget(
-    model: &mut NetworkModel,
+    bdd: &mut Bdd,
     opts: &VerifyOptions,
     stats: &VerifyStats,
+    persistent: &[NodeRef],
     live: &[NodeRef],
 ) -> Result<(), VerifyError> {
-    if model.bdd.allocated_nodes() <= opts.node_budget {
+    if bdd.allocated_nodes() <= opts.node_budget {
         return Ok(());
     }
-    let mut roots = model.persistent_roots();
+    let mut roots = persistent.to_vec();
     roots.extend_from_slice(live);
-    model.bdd.gc(&roots);
-    let allocated = model.bdd.allocated_nodes();
+    bdd.gc(&roots);
+    let allocated = bdd.allocated_nodes();
     if allocated > opts.node_budget {
         return Err(VerifyError::NodeBudgetExceeded {
             budget: opts.node_budget,
@@ -73,38 +74,51 @@ pub(crate) fn fixpoint(
     opts: &VerifyOptions,
     stats: &mut VerifyStats,
 ) -> Result<NodeRef, VerifyError> {
+    // The partitioned relation never changes during traversal; snapshot
+    // its roots once so every reclamation keeps the step BDDs alive.
+    let persistent = model.persistent_roots();
     let mut reached = model.init;
     let mut frontier = model.init;
     while !frontier.is_false() {
         stats.iterations += 1;
         let mut new = NodeRef::FALSE;
-        let env_steps = std::mem::take(&mut model.env_steps);
-        for step in &env_steps {
+        for step in &model.env_steps {
             let img = env_image(&mut model.bdd, step, frontier);
             new = model.bdd.or(new, img);
             stats.image_steps += 1;
+            enforce_budget(
+                &mut model.bdd,
+                opts,
+                stats,
+                &persistent,
+                &[reached, frontier, new],
+            )?;
         }
-        model.env_steps = env_steps;
-        let react_steps = std::mem::take(&mut model.react_steps);
-        let mut budget_hit = Ok(());
-        for step in &react_steps {
+        for step in &model.react_steps {
             let img = react_image(&mut model.bdd, step, frontier);
             new = model.bdd.or(new, img);
             stats.image_steps += 1;
-            budget_hit = enforce_budget(model, opts, stats, &[reached, frontier, new]);
-            if budget_hit.is_err() {
-                break;
-            }
+            enforce_budget(
+                &mut model.bdd,
+                opts,
+                stats,
+                &persistent,
+                &[reached, frontier, new],
+            )?;
         }
-        model.react_steps = react_steps;
-        budget_hit?;
         let unseen = model.bdd.not(reached);
         frontier = model.bdd.and(new, unseen);
         reached = model.bdd.or(reached, frontier);
         let fsize = model.bdd.size(&[frontier]) as u64;
         stats.frontier_sizes.push(fsize);
         stats.peak_frontier_nodes = stats.peak_frontier_nodes.max(fsize);
-        enforce_budget(model, opts, stats, &[reached, frontier])?;
+        enforce_budget(
+            &mut model.bdd,
+            opts,
+            stats,
+            &persistent,
+            &[reached, frontier],
+        )?;
     }
     stats.reached_nodes = model.bdd.size(&[reached]) as u64;
     stats.peak_live_nodes = model.bdd.stats().peak_live_nodes;
