@@ -16,6 +16,11 @@
 //! * cofactor/restriction ([`Bdd::restrict`], [`Bdd::cofactors`]) and
 //!   smoothing / existential quantification ([`Bdd::exists`]) used to build
 //!   characteristic functions (Section II-C);
+//! * a relational-product kernel for symbolic reachability:
+//!   single-pass cube quantification ([`Bdd::exists_cube`],
+//!   [`Bdd::forall_cube`]), combined conjoin-and-quantify
+//!   ([`Bdd::and_exists`], with its own dedicated cache), the generalized
+//!   cofactor ([`Bdd::constrain`]) and set difference ([`Bdd::and_not`]);
 //! * mark-and-sweep garbage collection ([`Bdd::gc`]);
 //! * in-place adjacent level swap and constrained sifting
 //!   ([`Bdd::sift`], see the [`reorder`] module);
@@ -28,8 +33,9 @@
 //! * per-variable **open-addressing unique tables** (power-of-two capacity,
 //!   linear probing, splitmix64-mixed keys, tombstone-free backward-shift
 //!   deletion) for hash-consing;
-//! * a single **direct-mapped lossy operation cache** shared by ITE and the
-//!   cofactor/quantification memos, invalidated in O(1) by bumping a
+//! * a **direct-mapped lossy operation cache** shared by ITE and the
+//!   cofactor/quantification memos, plus a second dedicated cache for
+//!   [`Bdd::and_exists`]; both invalidated in O(1) by bumping a
 //!   generation counter (no rehash on reorder);
 //! * a reusable **stamp buffer** for traversals (`size`, `support`, `gc`)
 //!   so marking needs no per-call set allocation;
@@ -339,6 +345,21 @@ const OP_RESTRICT0: u32 = 1;
 const OP_RESTRICT1: u32 = 2;
 const OP_EXISTS: u32 = 3;
 const OP_FORALL: u32 = 4;
+const OP_EXISTS_CUBE: u32 = 5;
+const OP_FORALL_CUBE: u32 = 6;
+const OP_CONSTRAIN: u32 = 7;
+/// Sole op code of the dedicated AndExists cache (kept distinct anyway so a
+/// misrouted probe can never alias a shared-cache entry).
+const OP_ANDEX: u32 = 8;
+/// Cross-call rename memo entries in the shared cache; keyed by the node
+/// and the interned substitution map (see [`Bdd::rename`]).
+const OP_RENAME: u32 = 9;
+
+/// At most this many distinct substitution maps are interned for the
+/// cross-call rename cache; later maps fall back to per-call memoization
+/// only. Relational-image workloads use one fixed map per machine, far
+/// below the cap.
+const RENAME_MAP_CAP: usize = 64;
 
 #[derive(Debug, Clone, Copy)]
 struct OpSlot {
@@ -508,6 +529,50 @@ impl Marks {
     }
 }
 
+/// Reusable node→node memo for `rename`: a generation-stamped slot per
+/// node index, so each pass is O(1) to clear and probes are two array
+/// reads instead of a hash lookup. Entries are only written for nodes of
+/// the input BDD, whose indices all precede `begin`'s bound.
+#[derive(Debug, Clone, Default)]
+struct RenameMemo {
+    stamp: Vec<u32>,
+    val: Vec<NodeRef>,
+    gen: u32,
+}
+
+impl RenameMemo {
+    /// Begins a fresh pass able to memoize node indices `< n`.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.val.resize(n, NodeRef::FALSE);
+        }
+        if self.gen == u32::MAX {
+            self.gen = 1;
+            for s in &mut self.stamp {
+                *s = 0;
+            }
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    #[inline]
+    fn get(&self, f: NodeRef) -> Option<NodeRef> {
+        if self.stamp[f.idx()] == self.gen {
+            Some(self.val[f.idx()])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, f: NodeRef, r: NodeRef) {
+        self.stamp[f.idx()] = self.gen;
+        self.val[f.idx()] = r;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Manager
 // ---------------------------------------------------------------------------
@@ -530,9 +595,18 @@ pub struct Bdd {
     var_names: Vec<String>,
     /// Shared ITE + cofactor/quantification operation cache.
     cache: OpCache,
+    /// Dedicated AndExists (relational-product) cache: three live node
+    /// operands per key, so sharing slots with binary ops would evict the
+    /// hottest entries of an image computation.
+    andex: OpCache,
     /// Scratch visited-set shared by `size`/`support`/`gc` (interior
     /// mutability so `&self` traversals stay `&self`).
     marks: RefCell<Marks>,
+    /// Scratch stamped memo reused across `rename` calls.
+    rename_memo: RenameMemo,
+    /// Interned substitution maps (source-sorted pairs); a map's index is
+    /// the token that keys its cross-call entries in the shared cache.
+    rename_maps: Vec<Vec<(u32, u32)>>,
     /// Per-node reference counts; only maintained while `rc_active`.
     rc: Vec<u32>,
     /// Whether sifting-time reference counting (and with it immediate dead
@@ -556,6 +630,12 @@ pub struct Bdd {
     peak_live_nodes: u64,
     /// Non-terminal node visits by `restrict`/`cofactors` traversals.
     op_visits: u64,
+    /// Dedicated-cache probes by `and_exists`.
+    andex_lookups: u64,
+    /// Dedicated-cache hits by `and_exists`.
+    andex_hits: u64,
+    /// Top-level `exists_cube`/`forall_cube` invocations.
+    cube_quant_calls: u64,
 }
 
 /// A snapshot of the manager's work counters, exposed so the synthesis
@@ -590,6 +670,12 @@ pub struct BddStats {
     pub peak_live_nodes: u64,
     /// Non-terminal node visits by `restrict`/`cofactors` traversals.
     pub op_visits: u64,
+    /// Dedicated-cache probes by `and_exists`.
+    pub andex_lookups: u64,
+    /// Dedicated-cache hits by `and_exists`.
+    pub andex_hits: u64,
+    /// Top-level `exists_cube`/`forall_cube` invocations.
+    pub cube_quant_calls: u64,
 }
 
 impl BddStats {
@@ -600,6 +686,16 @@ impl BddStats {
             0.0
         } else {
             self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Hit rate of the dedicated AndExists cache in `[0, 1]`; zero when no
+    /// lookups have happened.
+    pub fn andex_hit_rate(&self) -> f64 {
+        if self.andex_lookups == 0 {
+            0.0
+        } else {
+            self.andex_hits as f64 / self.andex_lookups as f64
         }
     }
 
@@ -631,6 +727,9 @@ impl BddStats {
             reclaimed_nodes: self.reclaimed_nodes + other.reclaimed_nodes,
             peak_live_nodes: self.peak_live_nodes + other.peak_live_nodes,
             op_visits: self.op_visits + other.op_visits,
+            andex_lookups: self.andex_lookups + other.andex_lookups,
+            andex_hits: self.andex_hits + other.andex_hits,
+            cube_quant_calls: self.cube_quant_calls + other.cube_quant_calls,
         }
     }
 }
@@ -674,7 +773,10 @@ impl Bdd {
             level_of_var: Vec::new(),
             var_names: Vec::new(),
             cache: OpCache::new(),
+            andex: OpCache::new(),
             marks: RefCell::new(Marks::default()),
+            rename_memo: RenameMemo::default(),
+            rename_maps: Vec::new(),
             rc: Vec::new(),
             rc_active: false,
             mk_calls: 0,
@@ -686,6 +788,9 @@ impl Bdd {
             reclaimed_nodes: 0,
             peak_live_nodes: 0,
             op_visits: 0,
+            andex_lookups: 0,
+            andex_hits: 0,
+            cube_quant_calls: 0,
         }
     }
 
@@ -751,6 +856,9 @@ impl Bdd {
             reclaimed_nodes: self.reclaimed_nodes,
             peak_live_nodes: self.peak_live_nodes,
             op_visits: self.op_visits,
+            andex_lookups: self.andex_lookups,
+            andex_hits: self.andex_hits,
+            cube_quant_calls: self.cube_quant_calls,
         }
     }
 
@@ -1106,8 +1214,18 @@ impl Bdd {
     }
 
     /// Existential quantification over several variables.
+    ///
+    /// Thin compatibility wrapper: builds the positive cube of `vs` and
+    /// delegates to the single-pass [`Bdd::exists_cube`]. Prefer building
+    /// the cube once with [`Bdd::cube`] when quantifying the same set
+    /// repeatedly.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build the variable cube once with `cube` and call `exists_cube`"
+    )]
     pub fn exists_all(&mut self, f: NodeRef, vs: impl IntoIterator<Item = Var>) -> NodeRef {
-        vs.into_iter().fold(f, |acc, v| self.exists(acc, v))
+        let c = self.cube(vs);
+        self.exists_cube(f, c)
     }
 
     /// Universal quantification: `∀v. f = f|_{v=0} · f|_{v=1}`.
@@ -1125,6 +1243,235 @@ impl Bdd {
         let r = self.and(f0, f1);
         self.cache.insert(OP_FORALL, f, vref, EMPTY, r);
         r
+    }
+
+    /// The positive cube (conjunction of positive literals) of `vs`, the
+    /// canonical variable-set representation consumed by
+    /// [`Bdd::exists_cube`], [`Bdd::forall_cube`] and [`Bdd::and_exists`].
+    ///
+    /// Built bottom-up in descending level order, so construction is O(k)
+    /// `mk` calls with no ITE work. Duplicates are collapsed. The cube is an
+    /// ordinary node: root it (gc/persistent-roots) like any other function
+    /// if it must survive collection, and note that its *shape* tracks the
+    /// variable order — after a [`Bdd::sift`] the handle stays valid and
+    /// still denotes the same conjunction.
+    pub fn cube(&mut self, vs: impl IntoIterator<Item = Var>) -> NodeRef {
+        let mut vars: Vec<Var> = vs.into_iter().collect();
+        // Sort deepest-first; duplicates land adjacent (level is injective).
+        vars.sort_by_key(|&v| std::cmp::Reverse(self.level(v)));
+        vars.dedup();
+        let mut c = NodeRef::TRUE;
+        for v in vars {
+            c = self.mk(v.0, NodeRef::FALSE, c);
+        }
+        c
+    }
+
+    /// Existential quantification of every variable in the positive cube
+    /// `cube` in a single traversal of `f`:
+    /// `∃ x₁…xₖ. f` in one pass instead of k full [`Bdd::exists`] sweeps.
+    ///
+    /// `cube` must be a positive cube (every node's low child is 0), e.g.
+    /// built by [`Bdd::cube`]; debug builds assert this. Memoized in the
+    /// shared operation cache keyed on the advanced cube, so sub-problems
+    /// of different top-level cubes still share entries.
+    pub fn exists_cube(&mut self, f: NodeRef, cube: NodeRef) -> NodeRef {
+        self.cube_quant_calls += 1;
+        self.quant_cube_rec(f, cube, true)
+    }
+
+    /// Universal quantification of every cube variable in a single pass:
+    /// `∀ x₁…xₖ. f`. Dual of [`Bdd::exists_cube`].
+    pub fn forall_cube(&mut self, f: NodeRef, cube: NodeRef) -> NodeRef {
+        self.cube_quant_calls += 1;
+        self.quant_cube_rec(f, cube, false)
+    }
+
+    /// Shared single-pass cube quantifier: `exists` selects ∨ (with an early
+    /// exit on 1), `forall` selects ∧ (early exit on 0).
+    fn quant_cube_rec(&mut self, f: NodeRef, mut cube: NodeRef, exists: bool) -> NodeRef {
+        if f.is_terminal() {
+            return f;
+        }
+        let flevel = self.level_of_node(f);
+        // Skip cube variables above f's top: f does not depend on them.
+        while !cube.is_terminal() && self.level_of_node(cube) < flevel {
+            debug_assert!(self.nodes[cube.idx()].lo.is_false(), "not a positive cube");
+            cube = self.nodes[cube.idx()].hi;
+        }
+        if cube.is_terminal() {
+            debug_assert!(cube.is_true(), "cube must not be the zero function");
+            return f;
+        }
+        let op = if exists {
+            OP_EXISTS_CUBE
+        } else {
+            OP_FORALL_CUBE
+        };
+        self.memo_lookups += 1;
+        if let Some(r) = self.cache.lookup(op, f, cube, EMPTY) {
+            self.memo_hits += 1;
+            return r;
+        }
+        self.op_visits += 1;
+        let node = self.nodes[f.idx()];
+        let r = if self.level_of_node(cube) == flevel {
+            debug_assert!(self.nodes[cube.idx()].lo.is_false(), "not a positive cube");
+            let rest = self.nodes[cube.idx()].hi;
+            let t = self.quant_cube_rec(node.hi, rest, exists);
+            // Short-circuit: ∨ saturates at 1, ∧ at 0.
+            if t.is_true() && exists {
+                NodeRef::TRUE
+            } else if t.is_false() && !exists {
+                NodeRef::FALSE
+            } else {
+                let e = self.quant_cube_rec(node.lo, rest, exists);
+                if exists {
+                    self.or(t, e)
+                } else {
+                    self.and(t, e)
+                }
+            }
+        } else {
+            let t = self.quant_cube_rec(node.hi, cube, exists);
+            let e = self.quant_cube_rec(node.lo, cube, exists);
+            self.mk(node.var, e, t)
+        };
+        self.cache.insert(op, f, cube, EMPTY, r);
+        r
+    }
+
+    /// The relational product `∃ cube. f ∧ g` in one recursion, without ever
+    /// materializing the conjunction `f ∧ g` (CUDD's `bddAndAbstract`).
+    ///
+    /// This is the image-computation workhorse: the intermediate conjunct of
+    /// a frontier with a transition-relation part is typically far larger
+    /// than either operand or the result, and this operator never builds it.
+    /// Results are memoized in a dedicated cache (see [`BddStats`]'s
+    /// `andex_lookups`/`andex_hits`) so relational products do not evict the
+    /// ITE working set. `cube` must be a positive cube.
+    pub fn and_exists(&mut self, f: NodeRef, g: NodeRef, cube: NodeRef) -> NodeRef {
+        if f.is_false() || g.is_false() {
+            return NodeRef::FALSE;
+        }
+        if f == g || g.is_true() {
+            return self.exists_cube(f, cube);
+        }
+        if f.is_true() {
+            return self.exists_cube(g, cube);
+        }
+        self.and_exists_rec(f, g, cube)
+    }
+
+    fn and_exists_rec(&mut self, f: NodeRef, g: NodeRef, cube: NodeRef) -> NodeRef {
+        if f.is_false() || g.is_false() {
+            return NodeRef::FALSE;
+        }
+        if f == g {
+            return self.quant_cube_rec(f, cube, true);
+        }
+        if f.is_true() {
+            return self.quant_cube_rec(g, cube, true);
+        }
+        if g.is_true() {
+            return self.quant_cube_rec(f, cube, true);
+        }
+        // Both non-terminal. Conjunction is commutative: order the operands
+        // by node index so (f, g) and (g, f) share one cache slot.
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let top = self.level_of_node(f).min(self.level_of_node(g));
+        // Advance the cube past variables above both operands.
+        let mut cube = cube;
+        while !cube.is_terminal() && self.level_of_node(cube) < top {
+            debug_assert!(self.nodes[cube.idx()].lo.is_false(), "not a positive cube");
+            cube = self.nodes[cube.idx()].hi;
+        }
+        if cube.is_terminal() {
+            debug_assert!(cube.is_true(), "cube must not be the zero function");
+            return self.and(f, g);
+        }
+        self.andex_lookups += 1;
+        if let Some(r) = self.andex.lookup(OP_ANDEX, f, g, cube) {
+            self.andex_hits += 1;
+            return r;
+        }
+        self.op_visits += 1;
+        let v = self.var_at_level[top as usize];
+        let (f0, f1) = self.cofactors_at(f, v);
+        let (g0, g1) = self.cofactors_at(g, v);
+        let r = if self.level_of_node(cube) == top {
+            let rest = self.nodes[cube.idx()].hi;
+            let t = self.and_exists_rec(f1, g1, rest);
+            if t.is_true() {
+                NodeRef::TRUE
+            } else {
+                let e = self.and_exists_rec(f0, g0, rest);
+                self.or(t, e)
+            }
+        } else {
+            let t = self.and_exists_rec(f1, g1, cube);
+            let e = self.and_exists_rec(f0, g0, cube);
+            self.mk(v, e, t)
+        };
+        self.andex.insert(OP_ANDEX, f, g, cube, r);
+        r
+    }
+
+    /// The generalized cofactor (Coudert/Madre `constrain`): a function that
+    /// agrees with `f` everywhere `c` holds and is free to simplify outside
+    /// `c`, i.e. `constrain(f, c) ∧ c == f ∧ c`.
+    ///
+    /// Used to minimize reachability frontiers against the reached set's
+    /// don't-care space. When `c` is a positive cube this reduces to the
+    /// ordinary cofactor `f|_c`. `c` must be satisfiable; `constrain(f, 0)`
+    /// returns 0 by convention.
+    pub fn constrain(&mut self, f: NodeRef, c: NodeRef) -> NodeRef {
+        if c.is_false() {
+            return NodeRef::FALSE;
+        }
+        self.constrain_rec(f, c)
+    }
+
+    fn constrain_rec(&mut self, f: NodeRef, c: NodeRef) -> NodeRef {
+        if c.is_true() || f.is_terminal() {
+            return f;
+        }
+        if f == c {
+            return NodeRef::TRUE;
+        }
+        let top = self.level_of_node(f).min(self.level_of_node(c));
+        let v = self.var_at_level[top as usize];
+        let (c0, c1) = self.cofactors_at(c, v);
+        // A one-sided care set maps the whole level onto the live branch —
+        // this is where constrain drops variables (and why it is only a
+        // *generalized* cofactor).
+        if c0.is_false() {
+            let (_, f1) = self.cofactors_at(f, v);
+            return self.constrain_rec(f1, c1);
+        }
+        if c1.is_false() {
+            let (f0, _) = self.cofactors_at(f, v);
+            return self.constrain_rec(f0, c0);
+        }
+        self.memo_lookups += 1;
+        if let Some(r) = self.cache.lookup(OP_CONSTRAIN, f, c, EMPTY) {
+            self.memo_hits += 1;
+            return r;
+        }
+        self.op_visits += 1;
+        let (f0, f1) = self.cofactors_at(f, v);
+        let t = self.constrain_rec(f1, c1);
+        let e = self.constrain_rec(f0, c0);
+        let r = self.mk(v, e, t);
+        self.cache.insert(OP_CONSTRAIN, f, c, EMPTY, r);
+        r
+    }
+
+    /// Difference `f ∧ ¬g` as a single ITE (`ite(g, 0, f)`), avoiding the
+    /// materialized negation of `g`. The frontier step of reachability
+    /// (`new ∖ reached`) is exactly this shape.
+    pub fn and_not(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(g, NodeRef::FALSE, f)
     }
 
     /// Simultaneous variable renaming: rewrites `f` with every source
@@ -1149,31 +1496,125 @@ impl Bdd {
                 .all(|&(_, t)| pairs.iter().all(|&(s, _)| s != t)),
             "rename target also appears as a source"
         );
-        let map: HashMap<u32, u32> = pairs.iter().map(|&(s, t)| (s.0, t.0)).collect();
-        debug_assert_eq!(map.len(), pairs.len(), "duplicate rename source");
-        let mut memo: HashMap<NodeRef, NodeRef> = HashMap::new();
-        self.rename_rec(f, &map, &mut memo)
+        debug_assert!(
+            pairs
+                .iter()
+                .enumerate()
+                .all(|(i, &(s, _))| pairs[..i].iter().all(|&(s2, _)| s2 != s)),
+            "duplicate rename source"
+        );
+        let mut map: Vec<u32> = (0..self.level_of_var.len() as u32).collect();
+        for &(s, t) in &pairs {
+            map[s.0 as usize] = t.0;
+        }
+        // Cross-call caching: intern the (source-sorted) map and use its
+        // index as a token keying shared-cache entries, so subgraphs
+        // shared between successive images skip the whole rebuild. The
+        // cache's generation bump on gc/sifting invalidates these entries
+        // along with everything else.
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable_by_key(|&(s, _)| s.0);
+        let sorted: Vec<(u32, u32)> = sorted.into_iter().map(|(s, t)| (s.0, t.0)).collect();
+        let token = match self.rename_maps.iter().position(|m| *m == sorted) {
+            Some(i) => Some(i as u32),
+            None if self.rename_maps.len() < RENAME_MAP_CAP => {
+                self.rename_maps.push(sorted);
+                Some(self.rename_maps.len() as u32 - 1)
+            }
+            None => None,
+        };
+        let mut memo = std::mem::take(&mut self.rename_memo);
+        memo.begin(self.nodes.len());
+        // Optimistic order-preserving rebuild: when the substitution keeps
+        // every rebuilt node strictly above its children (checked locally,
+        // which is exactly the ordered-BDD invariant), the renamed BDD has
+        // `f`'s shape and plain `mk` per node suffices — no `ite`. The
+        // relational-image rename (next-state rails onto their
+        // quantified-out current-state neighbours) is order-preserving by
+        // construction, and group-constrained sifting keeps it so. On a
+        // violation the rebuild bails out to the general `ite`-based path;
+        // memo entries from the partial attempt are correct renamed
+        // subfunctions, so the fallback reuses them.
+        let r = match self.rename_mono_rec(f, &map, token, &mut memo) {
+            Some(r) => r,
+            None => self.rename_rec(f, &map, token, &mut memo),
+        };
+        self.rename_memo = memo;
+        r
+    }
+
+    /// Order-preserving rename: rebuilds `f` bottom-up substituting the
+    /// variable labels directly. Returns `None` as soon as a substituted
+    /// node would not sit strictly above its rebuilt children — the local
+    /// ordered-BDD invariant whose node-wise validity makes the
+    /// shape-preserving rebuild correct.
+    fn rename_mono_rec(
+        &mut self,
+        f: NodeRef,
+        map: &[u32],
+        token: Option<u32>,
+        memo: &mut RenameMemo,
+    ) -> Option<NodeRef> {
+        if f.is_terminal() {
+            return Some(f);
+        }
+        if let Some(r) = memo.get(f) {
+            return Some(r);
+        }
+        if let Some(tok) = token {
+            if let Some(r) = self.cache.lookup(OP_RENAME, f, EMPTY, NodeRef(tok)) {
+                memo.insert(f, r);
+                return Some(r);
+            }
+        }
+        let node = self.nodes[f.idx()];
+        let lo = self.rename_mono_rec(node.lo, map, token, memo)?;
+        let hi = self.rename_mono_rec(node.hi, map, token, memo)?;
+        let v = map[node.var as usize];
+        let vl = self.level_of_var[v as usize];
+        for child in [lo, hi] {
+            if !child.is_terminal() && self.level_of_var[self.nodes[child.idx()].var as usize] <= vl
+            {
+                return None;
+            }
+        }
+        let r = self.mk(v, lo, hi);
+        memo.insert(f, r);
+        if let Some(tok) = token {
+            self.cache.insert(OP_RENAME, f, EMPTY, NodeRef(tok), r);
+        }
+        Some(r)
     }
 
     fn rename_rec(
         &mut self,
         f: NodeRef,
-        map: &HashMap<u32, u32>,
-        memo: &mut HashMap<NodeRef, NodeRef>,
+        map: &[u32],
+        token: Option<u32>,
+        memo: &mut RenameMemo,
     ) -> NodeRef {
         if f.is_terminal() {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
+        if let Some(r) = memo.get(f) {
             return r;
         }
+        if let Some(tok) = token {
+            if let Some(r) = self.cache.lookup(OP_RENAME, f, EMPTY, NodeRef(tok)) {
+                memo.insert(f, r);
+                return r;
+            }
+        }
         let node = self.nodes[f.idx()];
-        let lo = self.rename_rec(node.lo, map, memo);
-        let hi = self.rename_rec(node.hi, map, memo);
-        let v = map.get(&node.var).copied().unwrap_or(node.var);
+        let lo = self.rename_rec(node.lo, map, token, memo);
+        let hi = self.rename_rec(node.hi, map, token, memo);
+        let v = map[node.var as usize];
         let vf = self.var(Var(v));
         let r = self.ite(vf, hi, lo);
         memo.insert(f, r);
+        if let Some(tok) = token {
+            self.cache.insert(OP_RENAME, f, EMPTY, NodeRef(tok), r);
+        }
         r
     }
 
@@ -1332,13 +1773,15 @@ impl Bdd {
         let freed = self.free.len() - before;
         self.reclaimed_nodes += freed as u64;
         self.cache.invalidate();
+        self.andex.invalidate();
         freed
     }
 
-    /// Invalidates the operation cache in O(1) (needed after reordering;
+    /// Invalidates both operation caches in O(1) (needed after reordering;
     /// done automatically by [`Bdd::sift`]).
     pub fn clear_cache(&mut self) {
         self.cache.invalidate();
+        self.andex.invalidate();
     }
 
     /// Renders the graph rooted at `roots` in Graphviz DOT format.

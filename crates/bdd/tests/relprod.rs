@@ -1,0 +1,247 @@
+//! Property-style tests for the relational-product kernel: `and_exists`,
+//! `exists_cube`/`forall_cube`, `constrain`, and `and_not` against their
+//! defining identities, over deterministically seeded random function
+//! pairs at several variable counts (offline-safe, no external
+//! property-testing framework).
+
+use polis_bdd::{Bdd, NodeRef, Var};
+use polis_core::random::Rng;
+
+const VAR_COUNTS: [usize; 3] = [4, 6, 9];
+const CASES: u64 = 48;
+
+/// A random function over `vars` as a depth-bounded operator tree.
+fn gen_fn(rng: &mut Rng, bdd: &mut Bdd, vars: &[Var], depth: usize) -> NodeRef {
+    if depth == 0 || rng.chance(0.2) {
+        return if rng.chance(0.15) {
+            bdd.constant(rng.bool())
+        } else {
+            let v = vars[rng.usize(0..vars.len())];
+            if rng.bool() {
+                bdd.var(v)
+            } else {
+                bdd.nvar(v)
+            }
+        };
+    }
+    let a = gen_fn(rng, bdd, vars, depth - 1);
+    let b = gen_fn(rng, bdd, vars, depth - 1);
+    match rng.usize(0..4) {
+        0 => bdd.and(a, b),
+        1 => bdd.or(a, b),
+        2 => bdd.xor(a, b),
+        _ => {
+            let c = gen_fn(rng, bdd, vars, depth - 1);
+            bdd.ite(a, b, c)
+        }
+    }
+}
+
+/// A random non-empty variable subset of `vars`.
+fn gen_subset(rng: &mut Rng, vars: &[Var]) -> Vec<Var> {
+    let mut out: Vec<Var> = vars.iter().copied().filter(|_| rng.bool()).collect();
+    if out.is_empty() {
+        out.push(vars[rng.usize(0..vars.len())]);
+    }
+    out
+}
+
+/// One seeded case: a manager, its variables, two random functions, and a
+/// random quantification subset.
+fn setup(nvars: usize, case: u64) -> (Bdd, Vec<Var>, NodeRef, NodeRef, Vec<Var>) {
+    let mut rng = Rng::new(0x9e3779b97f4a7c15 ^ (nvars as u64) << 32 ^ case.wrapping_mul(0x9e37));
+    let mut bdd = Bdd::new();
+    let vars: Vec<Var> = (0..nvars).map(|i| bdd.new_var(format!("x{i}"))).collect();
+    let depth = 2 + (case % 4) as usize;
+    let f = gen_fn(&mut rng, &mut bdd, &vars, depth);
+    let g = gen_fn(&mut rng, &mut bdd, &vars, depth);
+    let subset = gen_subset(&mut rng, &vars);
+    (bdd, vars, f, g, subset)
+}
+
+#[test]
+fn cube_is_the_conjunction_of_its_literals() {
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, _, _, _, subset) = setup(nvars, case);
+            let c = bdd.cube(subset.iter().copied());
+            let lits: Vec<NodeRef> = subset.iter().map(|&v| bdd.var(v)).collect();
+            let expect = bdd.and_all(lits);
+            assert_eq!(c, expect, "nvars={nvars} case={case}");
+            // Duplicates collapse.
+            let doubled = bdd.cube(subset.iter().chain(subset.iter()).copied());
+            assert_eq!(doubled, c, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn exists_cube_matches_per_variable_exists() {
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, _, f, _, subset) = setup(nvars, case);
+            let c = bdd.cube(subset.iter().copied());
+            let single = bdd.exists_cube(f, c);
+            let folded = subset.iter().fold(f, |acc, &v| bdd.exists(acc, v));
+            assert_eq!(single, folded, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn forall_cube_matches_per_variable_forall() {
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, _, f, _, subset) = setup(nvars, case);
+            let c = bdd.cube(subset.iter().copied());
+            let single = bdd.forall_cube(f, c);
+            let folded = subset.iter().fold(f, |acc, &v| bdd.forall(acc, v));
+            assert_eq!(single, folded, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn and_exists_equals_exists_cube_of_the_conjunction() {
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, _, f, g, subset) = setup(nvars, case);
+            let c = bdd.cube(subset.iter().copied());
+            let fused = bdd.and_exists(f, g, c);
+            let conj = bdd.and(f, g);
+            let expect = bdd.exists_cube(conj, c);
+            assert_eq!(fused, expect, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn constrain_agrees_with_f_on_the_care_set() {
+    // The defining property of the generalized cofactor:
+    // constrain(f, c) ∧ c == f ∧ c (for satisfiable c).
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, _, f, c, _) = setup(nvars, case);
+            if c.is_false() {
+                assert!(bdd.constrain(f, c).is_false());
+                continue;
+            }
+            let k = bdd.constrain(f, c);
+            let lhs = bdd.and(k, c);
+            let rhs = bdd.and(f, c);
+            assert_eq!(lhs, rhs, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn constrain_over_a_positive_cube_is_the_cofactor() {
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, _, f, _, subset) = setup(nvars, case);
+            let c = bdd.cube(subset.iter().copied());
+            let k = bdd.constrain(f, c);
+            let cof = subset.iter().fold(f, |acc, &v| bdd.restrict(acc, v, true));
+            assert_eq!(k, cof, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn and_not_is_conjunction_with_negation() {
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, _, f, g, _) = setup(nvars, case);
+            let direct = bdd.and_not(f, g);
+            let ng = bdd.not(g);
+            let expect = bdd.and(f, ng);
+            assert_eq!(direct, expect, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn deprecated_exists_all_still_delegates_correctly() {
+    let (mut bdd, _, f, _, subset) = setup(6, 7);
+    #[allow(deprecated)]
+    let wrapped = bdd.exists_all(f, subset.iter().copied());
+    let c = bdd.cube(subset.iter().copied());
+    let expect = bdd.exists_cube(f, c);
+    assert_eq!(wrapped, expect);
+}
+
+/// Substitution oracle: `rename(f, pairs)` must equal
+/// `∃ sources (f ∧ ⋀ (s ↔ t))` whenever sources are distinct and targets
+/// are fresh — the textbook relational encoding of simultaneous renaming.
+fn rename_oracle(bdd: &mut Bdd, f: NodeRef, pairs: &[(Var, Var)]) -> NodeRef {
+    let mut conj = f;
+    for &(s, t) in pairs {
+        let vs = bdd.var(s);
+        let vt = bdd.var(t);
+        let x = bdd.xor(vs, vt);
+        let eq = bdd.not(x);
+        conj = bdd.and(conj, eq);
+    }
+    let c = bdd.cube(pairs.iter().map(|&(s, _)| s));
+    bdd.exists_cube(conj, c)
+}
+
+#[test]
+fn order_preserving_rename_matches_the_substitution_oracle() {
+    // Targets declared after the sources in the same relative order, so
+    // every call takes the shape-preserving `mk` rebuild.
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, vars, f, _, _) = setup(nvars, case);
+            let targets: Vec<Var> = (0..nvars).map(|i| bdd.new_var(format!("y{i}"))).collect();
+            let pairs: Vec<(Var, Var)> =
+                vars.iter().copied().zip(targets.iter().copied()).collect();
+            let renamed = bdd.rename(f, &pairs);
+            let expect = rename_oracle(&mut bdd, f, &pairs);
+            assert_eq!(renamed, expect, "nvars={nvars} case={case}");
+            // A second call goes through the cross-call cache entries and
+            // must agree with the first.
+            assert_eq!(bdd.rename(f, &pairs), renamed, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn order_reversing_rename_matches_the_substitution_oracle() {
+    // Targets assigned in reverse, breaking level monotonicity, so the
+    // rebuild bails out to the general `ite`-based path.
+    for &nvars in &VAR_COUNTS {
+        for case in 0..CASES {
+            let (mut bdd, vars, f, _, _) = setup(nvars, case);
+            let targets: Vec<Var> = (0..nvars).map(|i| bdd.new_var(format!("y{i}"))).collect();
+            let pairs: Vec<(Var, Var)> = vars
+                .iter()
+                .copied()
+                .zip(targets.iter().rev().copied())
+                .collect();
+            let renamed = bdd.rename(f, &pairs);
+            let expect = rename_oracle(&mut bdd, f, &pairs);
+            assert_eq!(renamed, expect, "nvars={nvars} case={case}");
+        }
+    }
+}
+
+#[test]
+fn kernel_counters_advance() {
+    let (mut bdd, _, f, g, subset) = setup(6, 11);
+    let before = bdd.stats();
+    let c = bdd.cube(subset.iter().copied());
+    let _ = bdd.and_exists(f, g, c);
+    let _ = bdd.exists_cube(f, c);
+    let after = bdd.stats();
+    assert!(after.cube_quant_calls > before.cube_quant_calls);
+    // and_exists on non-trivial operands must at least probe its cache.
+    if !f.is_terminal() && !g.is_terminal() && f != g {
+        assert!(after.andex_lookups > before.andex_lookups);
+    }
+    let merged = before.merged(&after);
+    assert_eq!(
+        merged.cube_quant_calls,
+        before.cube_quant_calls + after.cube_quant_calls
+    );
+}

@@ -346,7 +346,8 @@ impl ReactiveFn {
         for oi in 0..self.outputs.len() {
             let own: Vec<polis_bdd::Var> = self.outputs[oi].bits.clone();
             let others = all_output_bits.iter().copied().filter(|b| !own.contains(b));
-            let h = self.bdd.exists_all(self.chi, others);
+            let others_cube = self.bdd.cube(others);
+            let h = self.bdd.exists_cube(self.chi, others_cube);
             let sup: Vec<polis_bdd::Var> = self
                 .bdd
                 .support(h)

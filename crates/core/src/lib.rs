@@ -83,6 +83,11 @@ pub struct SynthesisOptions {
     /// aborts the pipeline with [`SynthError::Verify`] (the trace
     /// recorded so far is preserved in [`SynthFailure`]).
     pub verify_node_budget: usize,
+    /// Allocated-node level above which the verify manager is sifted
+    /// between fixpoint iterations (`usize::MAX` disables mid-reach
+    /// reordering). Affects wall time and peak nodes only, never
+    /// verdicts.
+    pub verify_reorder_threshold: usize,
     /// Feed the verified reachability invariant back into the
     /// false-path cycle estimator
     /// ([`CfsmSynthesis::max_cycles_reach_aware`]). Requires `verify`.
@@ -100,6 +105,7 @@ impl Default for SynthesisOptions {
             profile: Profile::Mcu8,
             verify: false,
             verify_node_budget: polis_verify::VerifyOptions::default().node_budget,
+            verify_reorder_threshold: polis_verify::VerifyOptions::default().reorder_threshold,
             verify_refine_estimates: false,
         }
     }

@@ -305,6 +305,7 @@ fn stage_verify(
 ) -> Result<(VerifyReport, Vec<Vec<Incompat>>), SynthError> {
     let vopts = VerifyOptions {
         node_budget: ctx.opts.verify_node_budget,
+        reorder_threshold: ctx.opts.verify_reorder_threshold,
     };
     let mut v = Verifier::run(net, &vopts).map_err(SynthError::Verify)?;
     let stats = v.stats();
@@ -316,6 +317,12 @@ fn stage_verify(
         ctx.count("reached_states", states.min(u128::from(u64::MAX)) as u64);
     }
     ctx.count("peak_live_nodes", stats.peak_live_nodes);
+    ctx.count("andex_lookups", stats.andex_lookups);
+    ctx.count("andex_hits", stats.andex_hits);
+    ctx.count("cube_quant_calls", stats.cube_quant_calls);
+    ctx.count("constrain_calls", stats.constrain_calls);
+    ctx.count("constrain_reduced_nodes", stats.constrain_reduced_nodes);
+    ctx.count("mid_reach_reorders", stats.mid_reach_reorders);
     let incompats = if ctx.opts.verify_refine_estimates {
         (0..net.cfsms().len())
             .map(|i| v.presence_incompats(i))

@@ -59,8 +59,9 @@ pub fn ite_chain(rf: &mut ReactiveFn) -> SGraph {
             let bdd = rf.bdd_mut();
             let pos = bdd.restrict(chi, bit, true);
             let neg = bdd.restrict(chi, bit, false);
-            let can1 = bdd.exists_all(pos, others.iter().copied());
-            let can0 = bdd.exists_all(neg, others.iter().copied());
+            let others_cube = bdd.cube(others.iter().copied());
+            let can1 = bdd.exists_cube(pos, others_cube);
+            let can0 = bdd.exists_cube(neg, others_cube);
             let ncan0 = bdd.not(can0);
             let forced1 = bdd.and(can1, ncan0);
             let value_bdd = match kind {

@@ -94,21 +94,19 @@ pub(crate) fn deadlock(
     for i in 0..model.vars.len() {
         let conds = model.conds[i].clone();
         let any = model.bdd.or_all(conds);
-        let can_fire = model
-            .bdd
-            .exists_all(any, model.vars[i].tests.iter().copied());
+        let tests_cube = model.bdd.cube(model.vars[i].tests.iter().copied());
+        let can_fire = model.bdd.exists_cube(any, tests_cube);
         fireable = model.bdd.or(fireable, can_fire);
     }
     // Close "some machine can fire" under environment deliveries: a
     // delivery sets every consumer flag of one signal to 1. Deliveries
     // commute and are idempotent, so one pass over the steps reaches the
-    // fixpoint over arbitrary delivery sequences.
+    // fixpoint over arbitrary delivery sequences. Cofactoring on the
+    // step's whole flag cube at once (constrain over a positive cube *is*
+    // the ordinary cofactor) replaces the old per-flag restrict loop.
     let mut can_ever_fire = fireable;
     for step in &model.env_steps {
-        let mut delivered = can_ever_fire;
-        for &f in &step.flags {
-            delivered = model.bdd.restrict(delivered, f, true);
-        }
+        let delivered = model.bdd.constrain(can_ever_fire, step.cube);
         can_ever_fire = model.bdd.or(can_ever_fire, delivered);
     }
     let stuck = model.bdd.not(can_ever_fire);
@@ -155,7 +153,8 @@ pub(crate) fn presence_incompats(
         .copied()
         .filter(|v| !own.contains(v))
         .collect();
-    let projected = model.bdd.exists_all(reached, others);
+    let others_cube = model.bdd.cube(others);
+    let projected = model.bdd.exists_cube(reached, others_cube);
     let flags = model.vars[machine].flag_cur.clone();
     let mut out = Vec::new();
     for k1 in 0..flags.len() {

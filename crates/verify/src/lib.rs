@@ -72,12 +72,19 @@ pub struct VerifyOptions {
     /// live; exceeded after reclamation ⇒
     /// [`VerifyError::NodeBudgetExceeded`].
     pub node_budget: usize,
+    /// Allocated-node level above which the manager is sifted between
+    /// fixpoint iterations (group constraints keep each buffer's cur/next
+    /// flag rails and each machine's ctrl cur+next block contiguous).
+    /// Reordering changes only node counts and wall time, never verdicts
+    /// or reached-state counts. `usize::MAX` disables it.
+    pub reorder_threshold: usize,
 }
 
 impl Default for VerifyOptions {
     fn default() -> VerifyOptions {
         VerifyOptions {
             node_budget: 1 << 22,
+            reorder_threshold: 1 << 20,
         }
     }
 }
@@ -132,6 +139,20 @@ pub struct VerifyStats {
     pub reached_states: Option<u128>,
     /// Peak live nodes in the manager over the whole traversal.
     pub peak_live_nodes: u64,
+    /// Dedicated AndExists-cache probes during the traversal.
+    pub andex_lookups: u64,
+    /// Dedicated AndExists-cache hits during the traversal.
+    pub andex_hits: u64,
+    /// Single-pass cube quantifications during the traversal.
+    pub cube_quant_calls: u64,
+    /// Frontier-minimization `constrain` applications (one per iteration).
+    pub constrain_calls: u64,
+    /// Frontier nodes shed by `constrain` minimization, summed over all
+    /// iterations (raw frontier size minus minimized size).
+    pub constrain_reduced_nodes: u64,
+    /// Sifting passes triggered between fixpoint iterations by
+    /// [`VerifyOptions::reorder_threshold`].
+    pub mid_reach_reorders: u64,
     /// Wall-clock time of model construction plus traversal.
     pub wall: Duration,
 }
@@ -220,6 +241,14 @@ impl VerifyReport {
             self.stats.reached_nodes,
             self.stats.peak_frontier_nodes,
             self.stats.peak_live_nodes,
+        ));
+        out.push_str(&format!(
+            "kernel: and_exists {}/{} cache hits, {} cube quantifications, constrain shed {} nodes, {} mid-reach reorders\n",
+            self.stats.andex_hits,
+            self.stats.andex_lookups,
+            self.stats.cube_quant_calls,
+            self.stats.constrain_reduced_nodes,
+            self.stats.mid_reach_reorders,
         ));
         out.push_str("lost events:\n");
         for e in &self.lost_events {
@@ -528,6 +557,7 @@ mod tests {
                 &net,
                 &VerifyOptions {
                     node_budget: budget,
+                    ..VerifyOptions::default()
                 },
             ) else {
                 continue;
@@ -548,7 +578,13 @@ mod tests {
     #[test]
     fn node_budget_aborts_gracefully() {
         let net = toggler_pair();
-        let err = match Verifier::run(&net, &VerifyOptions { node_budget: 4 }) {
+        let err = match Verifier::run(
+            &net,
+            &VerifyOptions {
+                node_budget: 4,
+                ..VerifyOptions::default()
+            },
+        ) {
             Err(e) => e,
             Ok(_) => panic!("expected a node-budget abort"),
         };
@@ -564,5 +600,50 @@ mod tests {
     fn options_default_is_generous() {
         let o = VerifyOptions::default();
         assert!(o.node_budget >= 1 << 20);
+        assert!(o.reorder_threshold >= 1 << 16);
+        assert!(o.reorder_threshold <= o.node_budget);
+    }
+
+    #[test]
+    fn forced_reordering_changes_no_verdict() {
+        // Threshold 1 triggers a sift after every fixpoint iteration:
+        // verdicts, reached-state counts and iteration counts must be
+        // bit-identical to the unreordered run on every example network.
+        for net in [toggler_pair(), token_ring()] {
+            let baseline = verify_network(&net, &VerifyOptions::default()).unwrap();
+            assert_eq!(baseline.stats.mid_reach_reorders, 0);
+            let forced = verify_network(
+                &net,
+                &VerifyOptions {
+                    reorder_threshold: 1,
+                    ..VerifyOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(forced.stats.mid_reach_reorders > 0, "threshold 1 must sift");
+            assert_eq!(forced.stats.reached_states, baseline.stats.reached_states);
+            assert_eq!(forced.stats.iterations, baseline.stats.iterations);
+            assert_eq!(forced.lost_events, baseline.lost_events);
+            assert_eq!(forced.dead_transitions, baseline.dead_transitions);
+            // The *verdict* is order-independent; the witness cube walks
+            // the node structure, so it may legally differ after a sift.
+            assert_eq!(forced.deadlock.is_some(), baseline.deadlock.is_some());
+        }
+    }
+
+    #[test]
+    fn traversal_records_kernel_counters() {
+        let net = token_ring();
+        let report = verify_network(&net, &VerifyOptions::default()).unwrap();
+        assert!(report.stats.andex_lookups > 0, "images use and_exists");
+        assert!(
+            report.stats.cube_quant_calls > 0,
+            "env images use exists_cube"
+        );
+        assert_eq!(
+            report.stats.constrain_calls, report.stats.iterations,
+            "one frontier minimization per iteration"
+        );
+        assert!(report.render().contains("and_exists"));
     }
 }

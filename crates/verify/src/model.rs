@@ -79,8 +79,11 @@ impl MachineVars {
 
 /// Environment delivery of one primary input signal.
 pub(crate) struct EnvStep {
-    /// Current flag variables of every consumer's buffer for the signal.
-    pub flags: Vec<Var>,
+    /// Positive cube over every consumer's current flag for the signal,
+    /// precomputed at model build. One BDD serves both roles of the
+    /// image: the quantification set handed to `exists_cube` and the
+    /// set-literal conjunction applied with a single `and` afterwards.
+    pub cube: NodeRef,
 }
 
 /// One machine's reaction as a partitioned transition relation with a
@@ -88,19 +91,25 @@ pub(crate) struct EnvStep {
 pub(crate) struct ReactStep {
     /// Imported `χ|consume=1` over global variables.
     pub chi_fire: NodeRef,
-    /// Consumer buffer updates: `flag' ↔ flag ∨ ⋁ emitting actions`.
-    pub update: NodeRef,
-    /// Snapshot consumption: `⋀ ¬flag'` over the machine's own buffers.
-    pub own_clear: NodeRef,
+    /// Consumer buffer updates fused with snapshot consumption:
+    /// `(flag' ↔ flag ∨ ⋁ emitting actions) ∧ ⋀ ¬own_flag'`. The clear
+    /// half has no action variables in its support, so conjoining it
+    /// before the action quantification is sound and saves one
+    /// relational product per image.
+    pub update_clear: NodeRef,
     /// Test variables (quantified immediately after `χ` is conjoined).
     pub q_tests: Vec<Var>,
-    /// Action variables (quantified after `update` is conjoined).
+    /// Action variables (quantified after `update_clear` is conjoined).
     pub q_acts: Vec<Var>,
-    /// Current-state variables consumed by the step: the machine's own
-    /// flags and control bits plus every affected consumer flag.
-    pub q_cur: Vec<Var>,
     /// Next → current renaming applied last.
     pub rename: Vec<(Var, Var)>,
+    /// Positive cube over `q_tests` (for the `χ` relational product).
+    pub tests_cube: NodeRef,
+    /// Positive cube over `q_acts` plus the current-state variables the
+    /// step consumes — the machine's own flags and control bits and every
+    /// affected consumer flag (for the `update_clear` relational
+    /// product).
+    pub acts_cur_cube: NodeRef,
 }
 
 /// The full symbolic model: manager, layout, partitioned relation, and
@@ -194,8 +203,9 @@ impl NetworkModel {
                         let k = cfsms[c].input_index(&sig).expect("consumer has input");
                         vars[c].flag_cur[k]
                     })
-                    .collect();
-                EnvStep { flags }
+                    .collect::<Vec<Var>>();
+                let cube = bdd.cube(flags);
+                EnvStep { cube }
             })
             .collect();
 
@@ -258,14 +268,17 @@ impl NetworkModel {
                 q_cur.push(vars[c].flag_cur[k]);
                 rename.push((vars[c].flag_next[k], vars[c].flag_cur[k]));
             }
+            let update_clear = bdd.and(update, own_clear);
+            let tests_cube = bdd.cube(vars[i].tests.iter().copied());
+            let acts_cur_cube = bdd.cube(vars[i].acts.iter().copied().chain(q_cur.iter().copied()));
             react_steps.push(ReactStep {
                 chi_fire,
-                update,
-                own_clear,
+                update_clear,
                 q_tests: vars[i].tests.clone(),
                 q_acts: vars[i].acts.clone(),
-                q_cur,
                 rename,
+                tests_cube,
+                acts_cur_cube,
             });
         }
 
@@ -304,19 +317,50 @@ impl NetworkModel {
     }
 
     /// Every node the model must keep alive across reclamation: the
-    /// partitioned relation, the initial state, and the enabling
-    /// conditions.
+    /// partitioned relation, the initial state, the precomputed
+    /// quantification cubes, and the enabling conditions. The cubes are
+    /// ordinary nodes — omitting them here would let a mid-traversal `gc`
+    /// free them out from under the next image.
     pub fn persistent_roots(&self) -> Vec<NodeRef> {
         let mut roots = vec![self.init];
+        for step in &self.env_steps {
+            roots.push(step.cube);
+        }
         for step in &self.react_steps {
             roots.push(step.chi_fire);
-            roots.push(step.update);
-            roots.push(step.own_clear);
+            roots.push(step.update_clear);
+            roots.push(step.tests_cube);
+            roots.push(step.acts_cur_cube);
         }
         for machine_conds in &self.conds {
             roots.extend_from_slice(machine_conds);
         }
         roots
+    }
+
+    /// The sifting constraints of the verify manager, for reordering
+    /// during reachability: each buffer's (cur, next) flag rail pair and
+    /// each machine's combined ctrl cur+next bit block must stay
+    /// contiguous and in declaration order, so renaming schedules and
+    /// `MvVar` decoding survive the reorder. Test/action auxiliaries sift
+    /// freely as singletons.
+    pub fn sift_config(&self) -> polis_bdd::reorder::SiftConfig {
+        let mut groups: Vec<Vec<Var>> = Vec::new();
+        for mv in &self.vars {
+            for (&c, &n) in mv.flag_cur.iter().zip(&mv.flag_next) {
+                groups.push(vec![c, n]);
+            }
+            if let (Some(cur), Some(next)) = (&mv.ctrl_cur, &mv.ctrl_next) {
+                let mut block: Vec<Var> = cur.bits().to_vec();
+                block.extend_from_slice(next.bits());
+                groups.push(block);
+            }
+        }
+        polis_bdd::reorder::SiftConfig {
+            precedence: Vec::new(),
+            groups,
+            max_passes: 1,
+        }
     }
 
     /// The disjunction of all emitting-action variables of machine `i`
@@ -332,7 +376,8 @@ impl NetworkModel {
         if let Some(next) = &self.vars[i].ctrl_next {
             aux.extend_from_slice(next.bits());
         }
-        f = self.bdd.exists_all(f, aux);
+        let aux_cube = self.bdd.cube(aux);
+        f = self.bdd.exists_cube(f, aux_cube);
         f
     }
 }

@@ -5,8 +5,21 @@
 //! partitioned relation until the frontier empties. Each image applies
 //! the early-quantification schedule pre-computed in the step (tests
 //! right after `χ`, actions right after the buffer updates, the consumed
-//! current-state block last) so intermediate products never carry
-//! variables that a later conjunct no longer needs.
+//! current-state block last) as fused relational products
+//! ([`Bdd::and_exists`]): the conjunct of the frontier with a relation
+//! part is quantified on the fly and never materialized.
+//!
+//! Two further reductions keep the working set small:
+//!
+//! * the frontier handed to the next sweep is minimized against the
+//!   reached set's don't-care space with [`Bdd::constrain`] — any
+//!   function between `New ∖ Reached` and `Reached'` yields the same
+//!   image frontier, so the generalized cofactor picks a smaller
+//!   representative without changing any per-iteration reached set;
+//! * when live nodes outgrow [`VerifyOptions::reorder_threshold`], the
+//!   manager is sifted between iterations under the model's group
+//!   constraints (flag cur/next rails and ctrl cur+next blocks stay
+//!   contiguous).
 //!
 //! The arena is bounded by [`VerifyOptions::node_budget`]: after every
 //! image the allocation level is checked, dead nodes are reclaimed
@@ -19,42 +32,42 @@ use crate::{VerifyError, VerifyOptions, VerifyStats};
 use polis_bdd::{Bdd, NodeRef};
 
 /// One environment-delivery image: quantify the consumer flags, then set
-/// them. Pure current-variable substitution — no renaming needed.
+/// them with the same precomputed cube. Pure current-variable
+/// substitution — no renaming needed.
 fn env_image(bdd: &mut Bdd, step: &EnvStep, from: NodeRef) -> NodeRef {
-    let mut a = bdd.exists_all(from, step.flags.iter().copied());
-    for &f in &step.flags {
-        let lit = bdd.var(f);
-        a = bdd.and(a, lit);
-    }
-    a
+    let a = bdd.exists_cube(from, step.cube);
+    bdd.and(a, step.cube)
 }
 
-/// One machine-reaction image with early quantification.
+/// One machine-reaction image as a chain of two relational products
+/// following the early-quantification schedule: tests fall right after
+/// `χ`, actions and the consumed current-state block with the fused
+/// `update_clear` part, then the next-state rail renamed back onto the
+/// current one. (Renaming once per iteration after the union was tried
+/// and discarded: the mixed-rail intermediate unions blow up.)
 fn react_image(bdd: &mut Bdd, step: &ReactStep, from: NodeRef) -> NodeRef {
-    let mut a = bdd.and(from, step.chi_fire);
-    a = bdd.exists_all(a, step.q_tests.iter().copied());
-    a = bdd.and(a, step.update);
-    a = bdd.exists_all(a, step.q_acts.iter().copied());
-    a = bdd.and(a, step.own_clear);
-    a = bdd.exists_all(a, step.q_cur.iter().copied());
+    let a = bdd.and_exists(from, step.chi_fire, step.tests_cube);
+    let a = bdd.and_exists(a, step.update_clear, step.acts_cur_cube);
     bdd.rename(a, &step.rename)
 }
 
 /// Reclaims dead nodes and errors out if the live set still exceeds the
 /// budget. `persistent` are the model's fixed roots (relation, init,
-/// enabling conditions); `live` are the traversal's working roots.
+/// cubes, enabling conditions); `live` are the traversal's working roots.
 fn enforce_budget(
     bdd: &mut Bdd,
     opts: &VerifyOptions,
     stats: &VerifyStats,
     persistent: &[NodeRef],
     live: &[NodeRef],
+    working: &[NodeRef],
 ) -> Result<(), VerifyError> {
     if bdd.allocated_nodes() <= opts.node_budget {
         return Ok(());
     }
     let mut roots = persistent.to_vec();
     roots.extend_from_slice(live);
+    roots.extend_from_slice(working);
     bdd.gc(&roots);
     let allocated = bdd.allocated_nodes();
     if allocated > opts.node_budget {
@@ -77,39 +90,81 @@ pub(crate) fn fixpoint(
     // The partitioned relation never changes during traversal; snapshot
     // its roots once so every reclamation keeps the step BDDs alive.
     let persistent = model.persistent_roots();
+    let sift_cfg = model.sift_config();
+    let base = model.bdd.stats();
     let mut reached = model.init;
     let mut frontier = model.init;
+    // Re-armed after every sift: the next reorder fires only once the
+    // arena doubles past the post-sift level, so a traversal that simply
+    // *stays* large after one reorder does not sift again on every
+    // iteration.
+    let mut next_reorder = opts.reorder_threshold;
     while !frontier.is_false() {
         stats.iterations += 1;
-        let mut new = NodeRef::FALSE;
+        let mut imgs: Vec<NodeRef> =
+            Vec::with_capacity(model.env_steps.len() + model.react_steps.len());
         for step in &model.env_steps {
             let img = env_image(&mut model.bdd, step, frontier);
-            new = model.bdd.or(new, img);
+            imgs.push(img);
             stats.image_steps += 1;
             enforce_budget(
                 &mut model.bdd,
                 opts,
                 stats,
                 &persistent,
-                &[reached, frontier, new],
+                &[reached, frontier],
+                &imgs,
             )?;
         }
         for step in &model.react_steps {
             let img = react_image(&mut model.bdd, step, frontier);
-            new = model.bdd.or(new, img);
+            imgs.push(img);
             stats.image_steps += 1;
             enforce_budget(
                 &mut model.bdd,
                 opts,
                 stats,
                 &persistent,
-                &[reached, frontier, new],
+                &[reached, frontier],
+                &imgs,
             )?;
         }
+        // Balanced union instead of a left fold: adjacent partitions
+        // share machine locality, and the tree never drags one big
+        // accumulator across every remaining image.
+        while imgs.len() > 1 {
+            let mut next = Vec::with_capacity(imgs.len().div_ceil(2));
+            for pair in imgs.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    model.bdd.or(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            imgs = next;
+            enforce_budget(
+                &mut model.bdd,
+                opts,
+                stats,
+                &persistent,
+                &[reached, frontier],
+                &imgs,
+            )?;
+        }
+        let new = imgs.pop().unwrap_or(NodeRef::FALSE);
+        // `raw = new ∖ reached` is the exact frontier; any superset of
+        // it inside the updated reached set images to the same new states,
+        // so constrain it against the pre-update complement to let it
+        // shrink into the don't-care space (reached sets stay
+        // bit-identical).
         let unseen = model.bdd.not(reached);
-        frontier = model.bdd.and(new, unseen);
-        reached = model.bdd.or(reached, frontier);
+        let raw = model.bdd.and_not(new, reached);
+        reached = model.bdd.or(reached, raw);
+        frontier = model.bdd.constrain(raw, unseen);
+        stats.constrain_calls += 1;
+        let raw_size = model.bdd.size(&[raw]) as u64;
         let fsize = model.bdd.size(&[frontier]) as u64;
+        stats.constrain_reduced_nodes += raw_size.saturating_sub(fsize);
         stats.frontier_sizes.push(fsize);
         stats.peak_frontier_nodes = stats.peak_frontier_nodes.max(fsize);
         enforce_budget(
@@ -118,12 +173,35 @@ pub(crate) fn fixpoint(
             stats,
             &persistent,
             &[reached, frontier],
+            &[],
         )?;
+        if model.bdd.allocated_nodes() > next_reorder {
+            let mut roots = persistent.clone();
+            roots.push(reached);
+            roots.push(frontier);
+            model.bdd.sift(&roots, &sift_cfg);
+            stats.mid_reach_reorders += 1;
+            next_reorder = (model.bdd.allocated_nodes() * 2).max(opts.reorder_threshold);
+        }
     }
+    let delta = diff_stats(&base, &model.bdd.stats());
+    stats.andex_lookups = delta.0;
+    stats.andex_hits = delta.1;
+    stats.cube_quant_calls = delta.2;
     stats.reached_nodes = model.bdd.size(&[reached]) as u64;
     stats.peak_live_nodes = model.bdd.stats().peak_live_nodes;
     stats.reached_states = count_states(model, reached);
     Ok(reached)
+}
+
+/// Kernel-counter deltas attributable to this traversal:
+/// `(andex_lookups, andex_hits, cube_quant_calls)`.
+fn diff_stats(base: &polis_bdd::BddStats, now: &polis_bdd::BddStats) -> (u64, u64, u64) {
+    (
+        now.andex_lookups - base.andex_lookups,
+        now.andex_hits - base.andex_hits,
+        now.cube_quant_calls - base.cube_quant_calls,
+    )
 }
 
 /// Number of distinct product states in `set`: the satisfying-assignment

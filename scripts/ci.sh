@@ -26,7 +26,7 @@ for spec in examples/specs/*.pol; do
   ./target/release/polis verify "$spec"
 done
 
-echo "==> verify bench smoke (sanity thresholds)"
-./target/release/verify --smoke --check --out /tmp/bench_verify_smoke.json
+echo "==> verify bench smoke (sanity thresholds + deterministic regression gate)"
+./target/release/verify --smoke --check --gate BENCH_verify.json --out /tmp/bench_verify_smoke.json
 
 echo "CI OK"

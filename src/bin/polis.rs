@@ -7,7 +7,7 @@
 //!                    [--buffering all|minimal] [--collapse]
 //! polis estimate <spec> [same options]
 //! polis sim <spec> --stim <file> [--policy rr|prio] [--target ...]
-//! polis verify <spec> [--node-budget N]
+//! polis verify <spec> [--node-budget N] [--reorder-threshold N|off]
 //! polis dot <spec> [--module NAME]
 //! ```
 //!
@@ -96,6 +96,7 @@ fn takes_value(name: &str) -> bool {
             | "jobs"
             | "trace"
             | "node-budget"
+            | "reorder-threshold"
     )
 }
 
@@ -123,10 +124,11 @@ fn usage() -> String {
     "usage:\n  \
      polis synth <spec> [-o DIR] [--style dg|chain|2lvl] [--target mcu8|risc32]\n    \
        [--scheme natural|after-inputs|after-support] [--buffering all|minimal] [--collapse]\n    \
-       [--jobs N] [--trace FILE] [--verify] [--refine] [--node-budget N]\n  \
+       [--jobs N] [--trace FILE] [--verify] [--refine] [--node-budget N]\n    \
+       [--reorder-threshold N|off]\n  \
      polis estimate <spec> [same options]\n  \
      polis sim <spec> --stim <file> [--policy rr|prio] [--target mcu8|risc32]\n  \
-     polis verify <spec> [--node-budget N]\n  \
+     polis verify <spec> [--node-budget N] [--reorder-threshold N|off]\n  \
      polis dot <spec> [--module NAME]\n  \
      polis fmt <spec>"
         .to_owned()
@@ -183,7 +185,24 @@ fn options(args: &Args) -> Result<SynthesisOptions, String> {
             .filter(|&b| b >= 1)
             .ok_or_else(|| format!("--node-budget takes a positive integer, got `{budget}`"))?;
     }
+    if let Some(threshold) = args.flag("reorder-threshold") {
+        opts.verify_reorder_threshold = parse_reorder_threshold(threshold)?;
+    }
     Ok(opts)
+}
+
+/// `--reorder-threshold N` (positive node count) or `off` to disable
+/// mid-reachability sifting.
+fn parse_reorder_threshold(raw: &str) -> Result<usize, String> {
+    if raw == "off" {
+        return Ok(usize::MAX);
+    }
+    raw.parse::<usize>()
+        .ok()
+        .filter(|&t| t >= 1)
+        .ok_or_else(|| {
+            format!("--reorder-threshold takes a positive integer or `off`, got `{raw}`")
+        })
 }
 
 fn parse_target(target: &str) -> Result<Profile, String> {
@@ -305,6 +324,9 @@ fn verify_cmd(args: &Args) -> Result<(), String> {
             .ok()
             .filter(|&b| b >= 1)
             .ok_or_else(|| format!("--node-budget takes a positive integer, got `{budget}`"))?;
+    }
+    if let Some(threshold) = args.flag("reorder-threshold") {
+        vopts.reorder_threshold = parse_reorder_threshold(threshold)?;
     }
     let report = verify_network(&net, &vopts).map_err(|e| e.to_string())?;
     print!("{}", report.render());
