@@ -1,5 +1,6 @@
-//! A reduced ordered binary decision diagram (ROBDD) package with dynamic
-//! variable reordering by sifting.
+//! A reduced ordered binary decision diagram (ROBDD) package with
+//! complement edges, a cache-conscious struct-of-arrays node store, and
+//! dynamic variable reordering by sifting.
 //!
 //! BDDs are the key intermediate representation of the POLIS software
 //! synthesis flow (Balarin et al., Section II-B): the CFSM reactive function
@@ -26,6 +27,27 @@
 //!   ([`Bdd::sift`], see the [`reorder`] module);
 //! * multi-bit encodings of bounded-integer variables ([`encode`]).
 //!
+//! # Node layout and complement edges
+//!
+//! A [`NodeRef`] is a 4-byte handle packing an arena index with a
+//! **complement bit** (Brace–Rudell–Bryant, as in CUDD): `ref = idx << 1 | c`
+//! denotes the function at `idx`, negated iff `c` is set. There is a single
+//! terminal (the constant **1** at index 0); `FALSE` is its complemented
+//! handle. Canonical form forbids complemented *then* (hi) edges — [`mk`]
+//! rewrites `(v, lo, ¬h)` into `¬(v, ¬lo, h)` — so a function and its
+//! negation share every node and [`Bdd::not`] is an O(1) bit flip that
+//! allocates nothing. `and`/`or`/`xor`/`iff`/`implies` all collapse onto one
+//! normalized ITE, roughly halving live node count and doubling effective
+//! operation-cache capacity.
+//!
+//! The arena itself is a **struct-of-arrays**: parallel `var`/`lo`/`hi`
+//! columns ([`NODE_BYTES`] = 12 bytes per node) instead of an
+//! array-of-structs, so traversals that only touch one field (level checks,
+//! marking, refcounts) stay within one dense column. The free-list is
+//! threaded through the `lo` column — a freed slot stores the next free
+//! index where its low edge used to be — so reclamation needs no side
+//! allocation at all.
+//!
 //! # Storage layer
 //!
 //! The kernel uses CUDD-style storage rather than the standard-library maps:
@@ -39,14 +61,20 @@
 //!   generation counter (no rehash on reorder);
 //! * a reusable **stamp buffer** for traversals (`size`, `support`, `gc`)
 //!   so marking needs no per-call set allocation;
+//! * a unified **slot-memo layer** ([`SlotMemo`]): a generation-stamped
+//!   per-node-slot memo shared by `rename`, `and_exists` and `constrain`,
+//!   probed before the persistent caches — two array reads instead of a
+//!   hash, O(1) to reset per top-level call;
 //! * **reference-count node reclamation** during sifting, so adjacent level
-//!   swaps recycle dead slots through a free-list instead of growing the
+//!   swaps recycle dead slots through the free-list instead of growing the
 //!   arena monotonically.
 //!
 //! Determinism: node indices depend only on the sequence of operations
 //! performed on the manager — there is no randomized hashing and no
 //! iteration over randomized containers — so a fixed call sequence yields
 //! bit-identical results across runs and platforms.
+//!
+//! [`mk`]: Bdd::ite
 //!
 //! # Examples
 //!
@@ -87,7 +115,10 @@ impl fmt::Display for Var {
     }
 }
 
-/// A handle to a BDD node (a Boolean function rooted at that node).
+/// A handle to a BDD function: an arena index in the upper 31 bits and a
+/// complement bit in bit 0 (`idx << 1 | c`). Two handles are equal iff they
+/// denote the same function; a handle and its complement share the same
+/// arena node.
 ///
 /// Handles stay valid across [`Bdd::sift`] (reordering rewrites nodes in
 /// place) and across [`Bdd::gc`] *if* the handle was reachable from the roots
@@ -95,39 +126,78 @@ impl fmt::Display for Var {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeRef(u32);
 
-impl NodeRef {
-    /// The constant false function.
-    pub const FALSE: NodeRef = NodeRef(0);
-    /// The constant true function.
-    pub const TRUE: NodeRef = NodeRef(1);
+/// Bytes of node payload per arena slot across the `var`/`lo`/`hi` columns.
+pub const NODE_BYTES: usize = 4 + 2 * std::mem::size_of::<NodeRef>();
 
-    /// `true` if this is one of the two terminal nodes.
+// The whole point of the packed handle: it must stay a single machine word
+// half so unique-table slots and cache keys stay cache-line dense.
+const _: () = assert!(std::mem::size_of::<NodeRef>() == 4);
+const _: () = assert!(NODE_BYTES == 12);
+
+impl NodeRef {
+    /// The constant true function: the regular handle of the one terminal.
+    pub const TRUE: NodeRef = NodeRef(0);
+    /// The constant false function: the complemented handle of the terminal.
+    pub const FALSE: NodeRef = NodeRef(1);
+
+    /// `true` if this is a handle of the terminal node (constant 0 or 1).
     pub fn is_terminal(self) -> bool {
         self.0 <= 1
     }
 
-    /// `true` if this is the true terminal.
+    /// `true` if this is the true constant.
     pub fn is_true(self) -> bool {
         self == NodeRef::TRUE
     }
 
-    /// `true` if this is the false terminal.
+    /// `true` if this is the false constant.
     pub fn is_false(self) -> bool {
         self == NodeRef::FALSE
     }
 
+    /// The arena index (shared by a handle and its complement).
+    #[inline]
     fn idx(self) -> usize {
-        self.0 as usize
+        (self.0 >> 1) as usize
+    }
+
+    /// The complemented handle (`¬f`). O(1), allocates nothing.
+    #[inline]
+    fn complement(self) -> NodeRef {
+        NodeRef(self.0 ^ 1)
+    }
+
+    /// The regular (complement bit cleared) handle of the same node.
+    #[inline]
+    fn regular(self) -> NodeRef {
+        NodeRef(self.0 & !1)
+    }
+
+    /// The complement bit (0 or 1).
+    #[inline]
+    fn parity(self) -> u32 {
+        self.0 & 1
+    }
+
+    /// This handle with its complement bit xor-ed by `p` (0 or 1).
+    #[inline]
+    fn xor_parity(self, p: u32) -> NodeRef {
+        NodeRef(self.0 ^ p)
     }
 }
 
 const TERMINAL_VAR: u32 = u32::MAX;
+/// Var-column sentinel for slots on the free-list (never a declared var:
+/// `TERMINAL_VAR` caps the space and declaration would OOM long before).
+const FREE_VAR: u32 = u32::MAX - 1;
 /// Level assigned to terminals: below every variable.
 const TERMINAL_LEVEL: u32 = u32::MAX;
+/// Free-list terminator (an arena index, not a handle).
+const NO_FREE: u32 = u32::MAX;
 
 /// Sentinel marking a vacant unique-table or cache slot. Never a real node:
-/// the arena is indexed by `u32` handles and would overflow memory long
-/// before reaching `u32::MAX` entries.
+/// the arena is indexed by 31-bit handles and would overflow memory long
+/// before reaching `u32::MAX / 2` entries.
 const EMPTY: NodeRef = NodeRef(u32::MAX);
 
 /// The splitmix64 finalizer, mirroring `polis-core::random`'s mixer
@@ -139,13 +209,6 @@ fn mix64(x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Node {
-    var: u32,
-    lo: NodeRef,
-    hi: NodeRef,
 }
 
 // ---------------------------------------------------------------------------
@@ -167,9 +230,11 @@ const VACANT: UniqueSlot = UniqueSlot {
 };
 
 /// One variable's hash-consing table: open addressing with linear probing
-/// over a power-of-two slot array. Deletion is tombstone-free (backward
-/// shift), so long-lived managers never accumulate probe-chain garbage —
-/// important because sifting removes and re-inserts entries constantly.
+/// over a power-of-two slot array. Keys are `(lo, hi)` with `hi` always a
+/// regular edge (canonical form), values are regular node handles. Deletion
+/// is tombstone-free (backward shift), so long-lived managers never
+/// accumulate probe-chain garbage — important because sifting removes and
+/// re-inserts entries constantly.
 #[derive(Debug, Clone)]
 pub(crate) struct UniqueTable {
     slots: Vec<UniqueSlot>,
@@ -465,6 +530,23 @@ impl OpCache {
         }
     }
 
+    /// Drops every current-generation entry for which `alive` rejects any
+    /// key or the result, keeping the rest valid. Used by [`Bdd::gc`] so a
+    /// collection only costs the entries that actually referenced dead
+    /// nodes — computations over surviving nodes stay cached. Key slots
+    /// holding non-handle tokens (variable ids, rename-map signatures,
+    /// `EMPTY` padding) have stable meaning, so a spurious `alive` verdict
+    /// on them can only drop a valid entry, never keep a wrong one.
+    fn retain(&mut self, mut alive: impl FnMut(NodeRef) -> bool) {
+        let stale_gen = self.gen.wrapping_sub(1);
+        for s in &mut self.slots {
+            if s.gen == self.gen && !(alive(s.a) && alive(s.b) && alive(s.c) && alive(s.result)) {
+                s.gen = stale_gen;
+                self.len -= 1;
+            }
+        }
+    }
+
     /// O(1) whole-cache invalidation by bumping the generation counter.
     fn invalidate(&mut self) {
         self.len = 0;
@@ -488,7 +570,8 @@ impl OpCache {
 
 /// A generation-stamped visited set over node indices: `mark` is O(1) and a
 /// new traversal is started by bumping the generation, with no clearing and
-/// no per-call allocation once the buffer is warm.
+/// no per-call allocation once the buffer is warm. Marking is by arena
+/// index, so a handle and its complement mark the same physical node.
 #[derive(Debug, Clone, Default)]
 struct Marks {
     stamp: Vec<u32>,
@@ -529,22 +612,36 @@ impl Marks {
     }
 }
 
-/// Reusable node→node memo for `rename`: a generation-stamped slot per
-/// node index, so each pass is O(1) to clear and probes are two array
-/// reads instead of a hash lookup. Entries are only written for nodes of
-/// the input BDD, whose indices all precede `begin`'s bound.
+/// The unified slot-memo layer: a generation-stamped memo slot per node
+/// index, shared (as three independent instances) by [`Bdd::rename`],
+/// [`Bdd::and_exists`] and [`Bdd::constrain`]. Each pass is O(1) to begin
+/// and probes are a couple of dense array reads instead of a hash lookup.
+///
+/// The slot index is the recursion operand's arena index, which always
+/// precedes `begin`'s bound (recursion operands are cofactors of the
+/// original inputs, never freshly built results). Up to three extra key
+/// operands (`k1..k3`, unused ones pinned to [`EMPTY`]) disambiguate
+/// entries that share a slot; a slot holds one entry, so colliding keys
+/// simply overwrite — lossy is fine, the persistent [`OpCache`] layer
+/// backs every user of this memo.
 #[derive(Debug, Clone, Default)]
-struct RenameMemo {
+struct SlotMemo {
     stamp: Vec<u32>,
+    k1: Vec<NodeRef>,
+    k2: Vec<NodeRef>,
+    k3: Vec<NodeRef>,
     val: Vec<NodeRef>,
     gen: u32,
 }
 
-impl RenameMemo {
+impl SlotMemo {
     /// Begins a fresh pass able to memoize node indices `< n`.
     fn begin(&mut self, n: usize) {
         if self.stamp.len() < n {
             self.stamp.resize(n, 0);
+            self.k1.resize(n, EMPTY);
+            self.k2.resize(n, EMPTY);
+            self.k3.resize(n, EMPTY);
             self.val.resize(n, NodeRef::FALSE);
         }
         if self.gen == u32::MAX {
@@ -558,18 +655,25 @@ impl RenameMemo {
     }
 
     #[inline]
-    fn get(&self, f: NodeRef) -> Option<NodeRef> {
-        if self.stamp[f.idx()] == self.gen {
-            Some(self.val[f.idx()])
+    fn get(&self, slot: usize, a: NodeRef, b: NodeRef, c: NodeRef) -> Option<NodeRef> {
+        if self.stamp[slot] == self.gen
+            && self.k1[slot] == a
+            && self.k2[slot] == b
+            && self.k3[slot] == c
+        {
+            Some(self.val[slot])
         } else {
             None
         }
     }
 
     #[inline]
-    fn insert(&mut self, f: NodeRef, r: NodeRef) {
-        self.stamp[f.idx()] = self.gen;
-        self.val[f.idx()] = r;
+    fn insert(&mut self, slot: usize, a: NodeRef, b: NodeRef, c: NodeRef, r: NodeRef) {
+        self.stamp[slot] = self.gen;
+        self.k1[slot] = a;
+        self.k2[slot] = b;
+        self.k3[slot] = c;
+        self.val[slot] = r;
     }
 }
 
@@ -583,8 +687,18 @@ impl RenameMemo {
 /// order. See the crate docs for an example.
 #[derive(Debug, Clone)]
 pub struct Bdd {
-    nodes: Vec<Node>,
-    free: Vec<NodeRef>,
+    /// Variable column: `var_col[i]` labels node `i` (`TERMINAL_VAR` for the
+    /// terminal at index 0, `FREE_VAR` for free-list slots).
+    var_col: Vec<u32>,
+    /// Low-edge column; doubles as the free-list thread (`lo_col[i].0` holds
+    /// the next free *index* while slot `i` is on the free-list).
+    lo_col: Vec<NodeRef>,
+    /// High-edge column; always regular (canonical form).
+    hi_col: Vec<NodeRef>,
+    /// Head of the free-list threaded through `lo_col` (`NO_FREE` when
+    /// empty), plus its length for O(1) `allocated_nodes`.
+    free_head: u32,
+    free_len: usize,
     /// Per-variable unique tables.
     unique: Vec<UniqueTable>,
     /// `level -> var index`.
@@ -602,12 +716,17 @@ pub struct Bdd {
     /// Scratch visited-set shared by `size`/`support`/`gc` (interior
     /// mutability so `&self` traversals stay `&self`).
     marks: RefCell<Marks>,
-    /// Scratch stamped memo reused across `rename` calls.
-    rename_memo: RenameMemo,
+    /// Unified slot-memo layer, one instance per recursive operator that
+    /// owns a top-level entry point (they can nest through `exists_cube`
+    /// etc., so they cannot share one buffer).
+    rename_memo: SlotMemo,
+    andex_memo: SlotMemo,
+    constrain_memo: SlotMemo,
     /// Interned substitution maps (source-sorted pairs); a map's index is
     /// the token that keys its cross-call entries in the shared cache.
     rename_maps: Vec<Vec<(u32, u32)>>,
-    /// Per-node reference counts; only maintained while `rc_active`.
+    /// Per-node reference counts (rc column, indexed by arena index); only
+    /// maintained while `rc_active`.
     rc: Vec<u32>,
     /// Whether sifting-time reference counting (and with it immediate dead
     /// node reclamation in `swap_levels`) is on.
@@ -630,9 +749,9 @@ pub struct Bdd {
     peak_live_nodes: u64,
     /// Non-terminal node visits by `restrict`/`cofactors` traversals.
     op_visits: u64,
-    /// Dedicated-cache probes by `and_exists`.
+    /// Slot-memo + dedicated-cache probes by `and_exists`.
     andex_lookups: u64,
-    /// Dedicated-cache hits by `and_exists`.
+    /// Slot-memo + dedicated-cache hits by `and_exists`.
     andex_hits: u64,
     /// Top-level `exists_cube`/`forall_cube` invocations.
     cube_quant_calls: u64,
@@ -670,9 +789,9 @@ pub struct BddStats {
     pub peak_live_nodes: u64,
     /// Non-terminal node visits by `restrict`/`cofactors` traversals.
     pub op_visits: u64,
-    /// Dedicated-cache probes by `and_exists`.
+    /// Slot-memo + dedicated-cache probes by `and_exists`.
     pub andex_lookups: u64,
-    /// Dedicated-cache hits by `and_exists`.
+    /// Slot-memo + dedicated-cache hits by `and_exists`.
     pub andex_hits: u64,
     /// Top-level `exists_cube`/`forall_cube` invocations.
     pub cube_quant_calls: u64,
@@ -689,7 +808,7 @@ impl BddStats {
         }
     }
 
-    /// Hit rate of the dedicated AndExists cache in `[0, 1]`; zero when no
+    /// Hit rate of the AndExists memo layers in `[0, 1]`; zero when no
     /// lookups have happened.
     pub fn andex_hit_rate(&self) -> f64 {
         if self.andex_lookups == 0 {
@@ -755,19 +874,14 @@ impl Bdd {
     /// Creates an empty manager with no variables.
     pub fn new() -> Bdd {
         Bdd {
-            nodes: vec![
-                Node {
-                    var: TERMINAL_VAR,
-                    lo: NodeRef::FALSE,
-                    hi: NodeRef::FALSE,
-                },
-                Node {
-                    var: TERMINAL_VAR,
-                    lo: NodeRef::TRUE,
-                    hi: NodeRef::TRUE,
-                },
-            ],
-            free: Vec::new(),
+            // Index 0 is the single terminal (constant 1); its children are
+            // self-loops so column reads on a terminal handle stay in
+            // bounds and terminate traversals naturally.
+            var_col: vec![TERMINAL_VAR],
+            lo_col: vec![NodeRef::TRUE],
+            hi_col: vec![NodeRef::TRUE],
+            free_head: NO_FREE,
+            free_len: 0,
             unique: Vec::new(),
             var_at_level: Vec::new(),
             level_of_var: Vec::new(),
@@ -775,7 +889,9 @@ impl Bdd {
             cache: OpCache::new(),
             andex: OpCache::new(),
             marks: RefCell::new(Marks::default()),
-            rename_memo: RenameMemo::default(),
+            rename_memo: SlotMemo::default(),
+            andex_memo: SlotMemo::default(),
+            constrain_memo: SlotMemo::default(),
             rename_maps: Vec::new(),
             rc: Vec::new(),
             rc_active: false,
@@ -863,7 +979,7 @@ impl Bdd {
     }
 
     fn level_of_node(&self, n: NodeRef) -> u32 {
-        let v = self.nodes[n.idx()].var;
+        let v = self.var_col[n.idx()];
         if v == TERMINAL_VAR {
             TERMINAL_LEVEL
         } else {
@@ -873,28 +989,32 @@ impl Bdd {
 
     /// The variable labelling node `n`, or `None` for terminals.
     pub fn node_var(&self, n: NodeRef) -> Option<Var> {
-        let v = self.nodes[n.idx()].var;
+        let v = self.var_col[n.idx()];
         (v != TERMINAL_VAR).then_some(Var(v))
     }
 
-    /// The low (`var = 0`) child of a non-terminal node.
+    /// The low (`var = 0`) cofactor of a non-terminal node, with the
+    /// handle's complement bit already pushed onto it. Walking `lo`/`hi`
+    /// therefore traverses the *function* (the virtual complement-free
+    /// BDD), so edge-walkers need no parity bookkeeping of their own.
     ///
     /// # Panics
     ///
     /// Panics if `n` is a terminal.
     pub fn lo(&self, n: NodeRef) -> NodeRef {
         assert!(!n.is_terminal(), "terminals have no children");
-        self.nodes[n.idx()].lo
+        self.lo_col[n.idx()].xor_parity(n.parity())
     }
 
-    /// The high (`var = 1`) child of a non-terminal node.
+    /// The high (`var = 1`) cofactor of a non-terminal node, complement bit
+    /// applied (see [`Bdd::lo`]).
     ///
     /// # Panics
     ///
     /// Panics if `n` is a terminal.
     pub fn hi(&self, n: NodeRef) -> NodeRef {
         assert!(!n.is_terminal(), "terminals have no children");
-        self.nodes[n.idx()].hi
+        self.hi_col[n.idx()].xor_parity(n.parity())
     }
 
     /// The constant function for `value`.
@@ -911,7 +1031,8 @@ impl Bdd {
         self.mk(v.0, NodeRef::FALSE, NodeRef::TRUE)
     }
 
-    /// The single-variable function `!v`.
+    /// The single-variable function `!v` (the same arena node as `v`,
+    /// reached through a complement edge).
     pub fn nvar(&mut self, v: Var) -> NodeRef {
         self.mk(v.0, NodeRef::TRUE, NodeRef::FALSE)
     }
@@ -931,22 +1052,44 @@ impl Bdd {
     }
 
     /// Like `mk` but without the order assertion; used mid-swap when the
-    /// recorded order is transiently inconsistent.
+    /// recorded order is transiently inconsistent. Canonicalizes the
+    /// complement: a complemented hi edge is factored out of the node
+    /// (`(v, lo, ¬h) = ¬(v, ¬lo, h)`), so stored hi edges are always
+    /// regular and `f`/`¬f` share one node.
     fn mk_raw(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
         if lo == hi {
             return lo;
         }
+        if hi.parity() == 1 {
+            self.mk_node(var, lo.complement(), hi.complement())
+                .complement()
+        } else {
+            self.mk_node(var, lo, hi)
+        }
+    }
+
+    /// Get-or-insert of a canonical `(var, lo, hi)` node (`hi` regular,
+    /// `lo != hi`). Returns a regular handle.
+    fn mk_node(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        debug_assert_eq!(hi.parity(), 0, "complemented hi edge");
+        debug_assert_ne!(lo, hi);
         if let Some(n) = self.unique[var as usize].get(lo, hi) {
             return n;
         }
-        let node = Node { var, lo, hi };
-        let r = if let Some(slot) = self.free.pop() {
-            self.nodes[slot.idx()] = node;
-            slot
+        let r = if self.free_head != NO_FREE {
+            let i = self.free_head as usize;
+            self.free_head = self.lo_col[i].0;
+            self.free_len -= 1;
+            self.var_col[i] = var;
+            self.lo_col[i] = lo;
+            self.hi_col[i] = hi;
+            NodeRef((i as u32) << 1)
         } else {
-            let r = NodeRef(self.nodes.len() as u32);
-            self.nodes.push(node);
-            r
+            let i = self.var_col.len();
+            self.var_col.push(var);
+            self.lo_col.push(lo);
+            self.hi_col.push(hi);
+            NodeRef((i as u32) << 1)
         };
         self.unique[var as usize].insert(lo, hi, r);
         if self.rc_active {
@@ -956,6 +1099,14 @@ impl Bdd {
         }
         self.peak_live_nodes = self.peak_live_nodes.max(self.allocated_nodes() as u64);
         r
+    }
+
+    /// Threads arena slot `i` onto the free-list (through the lo column).
+    fn free_push(&mut self, i: usize) {
+        self.var_col[i] = FREE_VAR;
+        self.lo_col[i] = NodeRef(self.free_head);
+        self.free_head = i as u32;
+        self.free_len += 1;
     }
 
     #[inline]
@@ -992,15 +1143,17 @@ impl Bdd {
             debug_assert!(self.rc[i] > 0, "rc underflow");
             self.rc[i] -= 1;
             if self.rc[i] == 0 {
-                let node = self.nodes[i];
-                self.unique[node.var as usize].remove(node.lo, node.hi);
-                self.free.push(m);
+                // Read the node out before free_push overwrites the lo slot
+                // with the free-list thread.
+                let (var, lo, hi) = (self.var_col[i], self.lo_col[i], self.hi_col[i]);
+                self.unique[var as usize].remove(lo, hi);
+                self.free_push(i);
                 self.reclaimed_nodes += 1;
-                if !node.lo.is_terminal() {
-                    stack.push(node.lo);
+                if !lo.is_terminal() {
+                    stack.push(lo);
                 }
-                if !node.hi.is_terminal() {
-                    stack.push(node.hi);
+                if !hi.is_terminal() {
+                    stack.push(hi);
                 }
             }
         }
@@ -1008,8 +1161,13 @@ impl Bdd {
 
     /// If-then-else: `ite(f, g, h) = f·g + !f·h`. All other Boolean
     /// operations are derived from it.
+    ///
+    /// Under complement edges a single normalization cascade folds the
+    /// whole two-operand algebra onto canonical `(f, g, h)` triples: `and`,
+    /// `or`, `and_not`, `implies` and their operand-swapped / negated forms
+    /// all hash to the same cache entry, and so do `xor`/`iff`.
     pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> NodeRef {
-        // Terminal cases.
+        // Terminal / identity cases.
         if f.is_true() {
             return g;
         }
@@ -1019,33 +1177,80 @@ impl Bdd {
         if g == h {
             return g;
         }
-        if g.is_true() && h.is_false() {
-            return f;
-        }
         let (mut f, mut g, mut h) = (f, g, h);
+        // Branch absorption: a branch equal to (the complement of) the
+        // condition collapses to a constant.
         if f == g {
-            // f·f + !f·h = f + h = ite(f, 1, h)
-            g = NodeRef::TRUE;
+            g = NodeRef::TRUE; // f·f + !f·h = f + h
+        } else if f == g.complement() {
+            g = NodeRef::FALSE; // f·!f + !f·h = !f·h
         }
         if f == h {
-            // f·g + !f·f = f·g = ite(f, g, 0)
-            h = NodeRef::FALSE;
+            h = NodeRef::FALSE; // f·g + !f·f = f·g
+        } else if f == h.complement() {
+            h = NodeRef::TRUE; // f·g + !f·!f = f·g + !f
+        }
+        if g == h {
+            return g;
         }
         if g.is_true() && h.is_false() {
             return f;
         }
-        // Commutative normalization: `f + h` (g = 1) and `f · g` (h = 0) are
-        // symmetric in their operands, so order them by node index to make
-        // e.g. or(a, b) and or(b, a) share one cache slot.
-        if g.is_true() && f.0 > h.0 {
-            std::mem::swap(&mut f, &mut h);
-        } else if h.is_false() && f.0 > g.0 {
-            std::mem::swap(&mut f, &mut g);
+        if g.is_false() && h.is_true() {
+            return f.complement();
+        }
+        // Canonical operand ordering: each two-operand shape is symmetric
+        // under an operand swap (possibly through negation), so pick the
+        // representative with the smaller raw key. Ties are impossible —
+        // the absorption rules above already removed every f ≡ ±other
+        // case, and the operands here are non-terminal.
+        if g.is_true() {
+            // or(f, h) = or(h, f)
+            if f.0 > h.0 {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if h.is_false() {
+            // and(f, g) = and(g, f)
+            if f.0 > g.0 {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if g.is_false() {
+            // !f·h: ite(f, 0, h) = ite(!h, 0, !f)
+            if f.0 > h.0 ^ 1 {
+                let (of, oh) = (f, h);
+                f = oh.complement();
+                h = of.complement();
+            }
+        } else if h.is_true() {
+            // f => g: ite(f, g, 1) = ite(!g, !f, 1)
+            if f.0 > g.0 ^ 1 {
+                let (of, og) = (f, g);
+                f = og.complement();
+                g = of.complement();
+            }
+        } else if g == h.complement() {
+            // xnor(f, g): ite(f, g, !g) = ite(g, f, !f)
+            if f.0 > g.0 {
+                std::mem::swap(&mut f, &mut g);
+                h = g.complement();
+            }
+        }
+        // Standard triple: regular condition first ...
+        if f.parity() == 1 {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
+        }
+        // ... then a regular then-branch, factoring the complement out of
+        // the result: ite(f, !g, !h) = !ite(f, g, h).
+        let out_neg = g.parity() == 1;
+        if out_neg {
+            g = g.complement();
+            h = h.complement();
         }
         self.cache_lookups += 1;
         if let Some(r) = self.cache.lookup(OP_ITE, f, g, h) {
             self.cache_hits += 1;
-            return r;
+            return r.xor_parity(out_neg as u32);
         }
         let top = self
             .level_of_node(f)
@@ -1059,15 +1264,18 @@ impl Bdd {
         let e = self.ite(f0, g0, h0);
         let r = self.mk(v, e, t);
         self.cache.insert(OP_ITE, f, g, h, r);
-        r
+        r.xor_parity(out_neg as u32)
     }
 
     /// Both cofactors of `n` with respect to variable index `v` (which must
-    /// be at or above `n`'s level).
+    /// be at or above `n`'s level). The handle's complement bit is pushed
+    /// onto the cofactors; terminals and nodes below `v` cofactor to
+    /// themselves.
     fn cofactors_at(&self, n: NodeRef, v: u32) -> (NodeRef, NodeRef) {
-        let node = &self.nodes[n.idx()];
-        if node.var == v {
-            (node.lo, node.hi)
+        let i = n.idx();
+        if self.var_col[i] == v {
+            let p = n.parity();
+            (self.lo_col[i].xor_parity(p), self.hi_col[i].xor_parity(p))
         } else {
             (n, n)
         }
@@ -1083,21 +1291,20 @@ impl Bdd {
         self.ite(f, NodeRef::TRUE, g)
     }
 
-    /// Negation.
+    /// Negation: an O(1) complement-bit flip. Performs no `mk` calls and
+    /// allocates nothing — `f` and `!f` share every node.
     pub fn not(&mut self, f: NodeRef) -> NodeRef {
-        self.ite(f, NodeRef::FALSE, NodeRef::TRUE)
+        f.complement()
     }
 
     /// Exclusive or.
     pub fn xor(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.ite(f, g.complement(), g)
     }
 
     /// Biconditional (`f == g`).
     pub fn iff(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.ite(f, g, g.complement())
     }
 
     /// Implication (`f -> g`).
@@ -1135,21 +1342,28 @@ impl Bdd {
         if flevel > vlevel {
             return f; // v does not occur in f
         }
-        let node = self.nodes[f.idx()];
-        if node.var == v {
-            return if val { node.hi } else { node.lo };
+        // Cofactoring commutes with complement: compute on the regular
+        // node, memoize there, and re-apply the complement bit — so f and
+        // !f share every memo entry.
+        let p = f.parity();
+        let fr = f.regular();
+        let i = fr.idx();
+        if self.var_col[i] == v {
+            let c = if val { self.hi_col[i] } else { self.lo_col[i] };
+            return c.xor_parity(p);
         }
         let op = if val { OP_RESTRICT1 } else { OP_RESTRICT0 };
         self.memo_lookups += 1;
-        if let Some(r) = self.cache.lookup(op, f, NodeRef(v), EMPTY) {
+        if let Some(r) = self.cache.lookup(op, fr, NodeRef(v), EMPTY) {
             self.memo_hits += 1;
-            return r;
+            return r.xor_parity(p);
         }
-        let lo = self.restrict_rec(node.lo, v, val);
-        let hi = self.restrict_rec(node.hi, v, val);
-        let r = self.mk(node.var, lo, hi);
-        self.cache.insert(op, f, NodeRef(v), EMPTY, r);
-        r
+        let (var, lo_raw, hi_raw) = (self.var_col[i], self.lo_col[i], self.hi_col[i]);
+        let lo = self.restrict_rec(lo_raw, v, val);
+        let hi = self.restrict_rec(hi_raw, v, val);
+        let r = self.mk(var, lo, hi);
+        self.cache.insert(op, fr, NodeRef(v), EMPTY, r);
+        r.xor_parity(p)
     }
 
     /// Both cofactors `(f|_{v=0}, f|_{v=1})` in one shared traversal.
@@ -1171,25 +1385,29 @@ impl Bdd {
         if flevel > vlevel {
             return (f, f);
         }
-        let node = self.nodes[f.idx()];
-        if node.var == v {
-            return (node.lo, node.hi);
+        let p = f.parity();
+        let fr = f.regular();
+        let i = fr.idx();
+        if self.var_col[i] == v {
+            let p = f.parity();
+            return (self.lo_col[i].xor_parity(p), self.hi_col[i].xor_parity(p));
         }
         let vref = NodeRef(v);
         self.memo_lookups += 1;
-        let c0 = self.cache.lookup(OP_RESTRICT0, f, vref, EMPTY);
-        let c1 = self.cache.lookup(OP_RESTRICT1, f, vref, EMPTY);
+        let c0 = self.cache.lookup(OP_RESTRICT0, fr, vref, EMPTY);
+        let c1 = self.cache.lookup(OP_RESTRICT1, fr, vref, EMPTY);
         if let (Some(r0), Some(r1)) = (c0, c1) {
             self.memo_hits += 1;
-            return (r0, r1);
+            return (r0.xor_parity(p), r1.xor_parity(p));
         }
-        let (lo0, lo1) = self.cofactors_rec(node.lo, v);
-        let (hi0, hi1) = self.cofactors_rec(node.hi, v);
-        let r0 = self.mk(node.var, lo0, hi0);
-        let r1 = self.mk(node.var, lo1, hi1);
-        self.cache.insert(OP_RESTRICT0, f, vref, EMPTY, r0);
-        self.cache.insert(OP_RESTRICT1, f, vref, EMPTY, r1);
-        (r0, r1)
+        let (var, lo_raw, hi_raw) = (self.var_col[i], self.lo_col[i], self.hi_col[i]);
+        let (lo0, lo1) = self.cofactors_rec(lo_raw, v);
+        let (hi0, hi1) = self.cofactors_rec(hi_raw, v);
+        let r0 = self.mk(var, lo0, hi0);
+        let r1 = self.mk(var, lo1, hi1);
+        self.cache.insert(OP_RESTRICT0, fr, vref, EMPTY, r0);
+        self.cache.insert(OP_RESTRICT1, fr, vref, EMPTY, r1);
+        (r0.xor_parity(p), r1.xor_parity(p))
     }
 
     /// Existential quantification (smoothing, Section II-C):
@@ -1198,51 +1416,40 @@ impl Bdd {
     /// Both cofactors come from one shared [`Bdd::cofactors`] pass and the
     /// result itself is memoized.
     pub fn exists(&mut self, f: NodeRef, v: Var) -> NodeRef {
-        if f.is_terminal() {
-            return f;
-        }
-        let vref = NodeRef(v.0);
-        self.memo_lookups += 1;
-        if let Some(r) = self.cache.lookup(OP_EXISTS, f, vref, EMPTY) {
-            self.memo_hits += 1;
-            return r;
-        }
-        let (f0, f1) = self.cofactors_rec(f, v.0);
-        let r = self.or(f0, f1);
-        self.cache.insert(OP_EXISTS, f, vref, EMPTY, r);
-        r
-    }
-
-    /// Existential quantification over several variables.
-    ///
-    /// Thin compatibility wrapper: builds the positive cube of `vs` and
-    /// delegates to the single-pass [`Bdd::exists_cube`]. Prefer building
-    /// the cube once with [`Bdd::cube`] when quantifying the same set
-    /// repeatedly.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build the variable cube once with `cube` and call `exists_cube`"
-    )]
-    pub fn exists_all(&mut self, f: NodeRef, vs: impl IntoIterator<Item = Var>) -> NodeRef {
-        let c = self.cube(vs);
-        self.exists_cube(f, c)
+        self.quant_one(f, v.0, true)
     }
 
     /// Universal quantification: `∀v. f = f|_{v=0} · f|_{v=1}`.
     pub fn forall(&mut self, f: NodeRef, v: Var) -> NodeRef {
+        self.quant_one(f, v.0, false)
+    }
+
+    /// Shared single-variable quantifier. Complement edges make the two
+    /// quantifiers each other's duals (`∃v. !f = !(∀v. f)`), so the memo is
+    /// kept on the regular node with the quantifier flipped by the operand's
+    /// complement bit — f and !f share entries across *both* ops.
+    fn quant_one(&mut self, f: NodeRef, v: u32, exists: bool) -> NodeRef {
         if f.is_terminal() {
             return f;
         }
-        let vref = NodeRef(v.0);
+        let p = f.parity();
+        let fr = f.regular();
+        let ex = exists ^ (p == 1);
+        let op = if ex { OP_EXISTS } else { OP_FORALL };
+        let vref = NodeRef(v);
         self.memo_lookups += 1;
-        if let Some(r) = self.cache.lookup(OP_FORALL, f, vref, EMPTY) {
+        if let Some(r) = self.cache.lookup(op, fr, vref, EMPTY) {
             self.memo_hits += 1;
-            return r;
+            return r.xor_parity(p);
         }
-        let (f0, f1) = self.cofactors_rec(f, v.0);
-        let r = self.and(f0, f1);
-        self.cache.insert(OP_FORALL, f, vref, EMPTY, r);
-        r
+        let (f0, f1) = self.cofactors_rec(fr, v);
+        let r = if ex {
+            self.or(f0, f1)
+        } else {
+            self.and(f0, f1)
+        };
+        self.cache.insert(op, fr, vref, EMPTY, r);
+        r.xor_parity(p)
     }
 
     /// The positive cube (conjunction of positive literals) of `vs`, the
@@ -1254,7 +1461,8 @@ impl Bdd {
     /// ordinary node: root it (gc/persistent-roots) like any other function
     /// if it must survive collection, and note that its *shape* tracks the
     /// variable order — after a [`Bdd::sift`] the handle stays valid and
-    /// still denotes the same conjunction.
+    /// still denotes the same conjunction. Cube handles are always regular
+    /// (every node is `(v, 0, rest)` with a regular `rest`).
     pub fn cube(&mut self, vs: impl IntoIterator<Item = Var>) -> NodeRef {
         let mut vars: Vec<Var> = vs.into_iter().collect();
         // Sort deepest-first; duplicates land adjacent (level is injective).
@@ -1287,17 +1495,27 @@ impl Bdd {
         self.quant_cube_rec(f, cube, false)
     }
 
-    /// Shared single-pass cube quantifier: `exists` selects ∨ (with an early
-    /// exit on 1), `forall` selects ∧ (early exit on 0).
-    fn quant_cube_rec(&mut self, f: NodeRef, mut cube: NodeRef, exists: bool) -> NodeRef {
+    /// Parity shim of the cube quantifier: quantification dualizes through
+    /// complement (`∃c. !f = !(∀c. f)`), so the recursion proper runs on
+    /// the regular node with the quantifier flipped.
+    fn quant_cube_rec(&mut self, f: NodeRef, cube: NodeRef, exists: bool) -> NodeRef {
         if f.is_terminal() {
             return f;
         }
+        let p = f.parity();
+        let ex = exists ^ (p == 1);
+        self.quant_cube_reg(f.regular(), cube, ex).xor_parity(p)
+    }
+
+    /// Shared single-pass cube quantifier on a regular non-terminal `f`:
+    /// `exists` selects ∨ (with an early exit on 1), `forall` selects ∧
+    /// (early exit on 0).
+    fn quant_cube_reg(&mut self, f: NodeRef, mut cube: NodeRef, exists: bool) -> NodeRef {
         let flevel = self.level_of_node(f);
         // Skip cube variables above f's top: f does not depend on them.
         while !cube.is_terminal() && self.level_of_node(cube) < flevel {
-            debug_assert!(self.nodes[cube.idx()].lo.is_false(), "not a positive cube");
-            cube = self.nodes[cube.idx()].hi;
+            debug_assert!(self.lo_col[cube.idx()].is_false(), "not a positive cube");
+            cube = self.hi_col[cube.idx()];
         }
         if cube.is_terminal() {
             debug_assert!(cube.is_true(), "cube must not be the zero function");
@@ -1314,18 +1532,19 @@ impl Bdd {
             return r;
         }
         self.op_visits += 1;
-        let node = self.nodes[f.idx()];
+        let i = f.idx();
+        let (var, lo, hi) = (self.var_col[i], self.lo_col[i], self.hi_col[i]);
         let r = if self.level_of_node(cube) == flevel {
-            debug_assert!(self.nodes[cube.idx()].lo.is_false(), "not a positive cube");
-            let rest = self.nodes[cube.idx()].hi;
-            let t = self.quant_cube_rec(node.hi, rest, exists);
+            debug_assert!(self.lo_col[cube.idx()].is_false(), "not a positive cube");
+            let rest = self.hi_col[cube.idx()];
+            let t = self.quant_cube_rec(hi, rest, exists);
             // Short-circuit: ∨ saturates at 1, ∧ at 0.
             if t.is_true() && exists {
                 NodeRef::TRUE
             } else if t.is_false() && !exists {
                 NodeRef::FALSE
             } else {
-                let e = self.quant_cube_rec(node.lo, rest, exists);
+                let e = self.quant_cube_rec(lo, rest, exists);
                 if exists {
                     self.or(t, e)
                 } else {
@@ -1333,9 +1552,9 @@ impl Bdd {
                 }
             }
         } else {
-            let t = self.quant_cube_rec(node.hi, cube, exists);
-            let e = self.quant_cube_rec(node.lo, cube, exists);
-            self.mk(node.var, e, t)
+            let t = self.quant_cube_rec(hi, cube, exists);
+            let e = self.quant_cube_rec(lo, cube, exists);
+            self.mk(var, e, t)
         };
         self.cache.insert(op, f, cube, EMPTY, r);
         r
@@ -1347,11 +1566,16 @@ impl Bdd {
     /// This is the image-computation workhorse: the intermediate conjunct of
     /// a frontier with a transition-relation part is typically far larger
     /// than either operand or the result, and this operator never builds it.
-    /// Results are memoized in a dedicated cache (see [`BddStats`]'s
+    /// Results are memoized per call in the unified slot-memo layer and
+    /// across calls in a dedicated cache (see [`BddStats`]'s
     /// `andex_lookups`/`andex_hits`) so relational products do not evict the
     /// ITE working set. `cube` must be a positive cube.
+    ///
+    /// Unlike the unary operators, the complement of an operand *cannot* be
+    /// factored out (`∃` does not commute with negation under ∧), so keys
+    /// carry the full complement-bit-tagged handles.
     pub fn and_exists(&mut self, f: NodeRef, g: NodeRef, cube: NodeRef) -> NodeRef {
-        if f.is_false() || g.is_false() {
+        if f.is_false() || g.is_false() || f == g.complement() {
             return NodeRef::FALSE;
         }
         if f == g || g.is_true() {
@@ -1360,11 +1584,21 @@ impl Bdd {
         if f.is_true() {
             return self.exists_cube(g, cube);
         }
-        self.and_exists_rec(f, g, cube)
+        let mut memo = std::mem::take(&mut self.andex_memo);
+        memo.begin(self.var_col.len());
+        let r = self.and_exists_rec(f, g, cube, &mut memo);
+        self.andex_memo = memo;
+        r
     }
 
-    fn and_exists_rec(&mut self, f: NodeRef, g: NodeRef, cube: NodeRef) -> NodeRef {
-        if f.is_false() || g.is_false() {
+    fn and_exists_rec(
+        &mut self,
+        f: NodeRef,
+        g: NodeRef,
+        cube: NodeRef,
+        memo: &mut SlotMemo,
+    ) -> NodeRef {
+        if f.is_false() || g.is_false() || f == g.complement() {
             return NodeRef::FALSE;
         }
         if f == g {
@@ -1377,22 +1611,30 @@ impl Bdd {
             return self.quant_cube_rec(f, cube, true);
         }
         // Both non-terminal. Conjunction is commutative: order the operands
-        // by node index so (f, g) and (g, f) share one cache slot.
+        // by raw key so (f, g) and (g, f) share one cache slot.
         let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
         let top = self.level_of_node(f).min(self.level_of_node(g));
         // Advance the cube past variables above both operands.
         let mut cube = cube;
         while !cube.is_terminal() && self.level_of_node(cube) < top {
-            debug_assert!(self.nodes[cube.idx()].lo.is_false(), "not a positive cube");
-            cube = self.nodes[cube.idx()].hi;
+            debug_assert!(self.lo_col[cube.idx()].is_false(), "not a positive cube");
+            cube = self.hi_col[cube.idx()];
         }
         if cube.is_terminal() {
             debug_assert!(cube.is_true(), "cube must not be the zero function");
             return self.and(f, g);
         }
+        // Slot memo first (two dense reads), dedicated cache second. The
+        // slot is f's arena index; k3 carries f itself so a complemented f
+        // cannot alias its regular twin in the same slot.
         self.andex_lookups += 1;
+        if let Some(r) = memo.get(f.idx(), g, cube, f) {
+            self.andex_hits += 1;
+            return r;
+        }
         if let Some(r) = self.andex.lookup(OP_ANDEX, f, g, cube) {
             self.andex_hits += 1;
+            memo.insert(f.idx(), g, cube, f, r);
             return r;
         }
         self.op_visits += 1;
@@ -1400,20 +1642,21 @@ impl Bdd {
         let (f0, f1) = self.cofactors_at(f, v);
         let (g0, g1) = self.cofactors_at(g, v);
         let r = if self.level_of_node(cube) == top {
-            let rest = self.nodes[cube.idx()].hi;
-            let t = self.and_exists_rec(f1, g1, rest);
+            let rest = self.hi_col[cube.idx()];
+            let t = self.and_exists_rec(f1, g1, rest, memo);
             if t.is_true() {
                 NodeRef::TRUE
             } else {
-                let e = self.and_exists_rec(f0, g0, rest);
+                let e = self.and_exists_rec(f0, g0, rest, memo);
                 self.or(t, e)
             }
         } else {
-            let t = self.and_exists_rec(f1, g1, cube);
-            let e = self.and_exists_rec(f0, g0, cube);
+            let t = self.and_exists_rec(f1, g1, cube, memo);
+            let e = self.and_exists_rec(f0, g0, cube, memo);
             self.mk(v, e, t)
         };
         self.andex.insert(OP_ANDEX, f, g, cube, r);
+        memo.insert(f.idx(), g, cube, f, r);
         r
     }
 
@@ -1429,46 +1672,66 @@ impl Bdd {
         if c.is_false() {
             return NodeRef::FALSE;
         }
-        self.constrain_rec(f, c)
+        let mut memo = std::mem::take(&mut self.constrain_memo);
+        memo.begin(self.var_col.len());
+        let r = self.constrain_rec(f, c, &mut memo);
+        self.constrain_memo = memo;
+        r
     }
 
-    fn constrain_rec(&mut self, f: NodeRef, c: NodeRef) -> NodeRef {
+    fn constrain_rec(&mut self, f: NodeRef, c: NodeRef, memo: &mut SlotMemo) -> NodeRef {
         if c.is_true() || f.is_terminal() {
             return f;
         }
         if f == c {
             return NodeRef::TRUE;
         }
-        let top = self.level_of_node(f).min(self.level_of_node(c));
+        if f == c.complement() {
+            return NodeRef::FALSE;
+        }
+        // constrain(!f, c) = !constrain(f, c): factor the operand's
+        // complement bit out and memoize on the regular node.
+        let p = f.parity();
+        let fr = f.regular();
+        let top = self.level_of_node(fr).min(self.level_of_node(c));
         let v = self.var_at_level[top as usize];
         let (c0, c1) = self.cofactors_at(c, v);
         // A one-sided care set maps the whole level onto the live branch —
         // this is where constrain drops variables (and why it is only a
         // *generalized* cofactor).
         if c0.is_false() {
-            let (_, f1) = self.cofactors_at(f, v);
-            return self.constrain_rec(f1, c1);
+            let (_, f1) = self.cofactors_at(fr, v);
+            let r = self.constrain_rec(f1, c1, memo);
+            return r.xor_parity(p);
         }
         if c1.is_false() {
-            let (f0, _) = self.cofactors_at(f, v);
-            return self.constrain_rec(f0, c0);
+            let (f0, _) = self.cofactors_at(fr, v);
+            let r = self.constrain_rec(f0, c0, memo);
+            return r.xor_parity(p);
         }
+        // Slot memo first, shared persistent cache second.
         self.memo_lookups += 1;
-        if let Some(r) = self.cache.lookup(OP_CONSTRAIN, f, c, EMPTY) {
+        if let Some(r) = memo.get(fr.idx(), c, EMPTY, EMPTY) {
             self.memo_hits += 1;
-            return r;
+            return r.xor_parity(p);
+        }
+        if let Some(r) = self.cache.lookup(OP_CONSTRAIN, fr, c, EMPTY) {
+            self.memo_hits += 1;
+            memo.insert(fr.idx(), c, EMPTY, EMPTY, r);
+            return r.xor_parity(p);
         }
         self.op_visits += 1;
-        let (f0, f1) = self.cofactors_at(f, v);
-        let t = self.constrain_rec(f1, c1);
-        let e = self.constrain_rec(f0, c0);
+        let (f0, f1) = self.cofactors_at(fr, v);
+        let t = self.constrain_rec(f1, c1, memo);
+        let e = self.constrain_rec(f0, c0, memo);
         let r = self.mk(v, e, t);
-        self.cache.insert(OP_CONSTRAIN, f, c, EMPTY, r);
-        r
+        self.cache.insert(OP_CONSTRAIN, fr, c, EMPTY, r);
+        memo.insert(fr.idx(), c, EMPTY, EMPTY, r);
+        r.xor_parity(p)
     }
 
-    /// Difference `f ∧ ¬g` as a single ITE (`ite(g, 0, f)`), avoiding the
-    /// materialized negation of `g`. The frontier step of reachability
+    /// Difference `f ∧ ¬g` as a single ITE (`ite(g, 0, f)`), avoiding a
+    /// separate negation step. The frontier step of reachability
     /// (`new ∖ reached`) is exactly this shape.
     pub fn and_not(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
         self.ite(g, NodeRef::FALSE, f)
@@ -1524,7 +1787,7 @@ impl Bdd {
             None => None,
         };
         let mut memo = std::mem::take(&mut self.rename_memo);
-        memo.begin(self.nodes.len());
+        memo.begin(self.var_col.len());
         // Optimistic order-preserving rebuild: when the substitution keeps
         // every rebuilt node strictly above its children (checked locally,
         // which is exactly the ordered-BDD invariant), the renamed BDD has
@@ -1547,43 +1810,47 @@ impl Bdd {
     /// variable labels directly. Returns `None` as soon as a substituted
     /// node would not sit strictly above its rebuilt children — the local
     /// ordered-BDD invariant whose node-wise validity makes the
-    /// shape-preserving rebuild correct.
+    /// shape-preserving rebuild correct. Renaming commutes with complement,
+    /// so the memo lives on the regular node and the operand's complement
+    /// bit transfers to the result.
     fn rename_mono_rec(
         &mut self,
         f: NodeRef,
         map: &[u32],
         token: Option<u32>,
-        memo: &mut RenameMemo,
+        memo: &mut SlotMemo,
     ) -> Option<NodeRef> {
         if f.is_terminal() {
             return Some(f);
         }
-        if let Some(r) = memo.get(f) {
-            return Some(r);
+        let p = f.parity();
+        let fr = f.regular();
+        if let Some(r) = memo.get(fr.idx(), EMPTY, EMPTY, EMPTY) {
+            return Some(r.xor_parity(p));
         }
         if let Some(tok) = token {
-            if let Some(r) = self.cache.lookup(OP_RENAME, f, EMPTY, NodeRef(tok)) {
-                memo.insert(f, r);
-                return Some(r);
+            if let Some(r) = self.cache.lookup(OP_RENAME, fr, EMPTY, NodeRef(tok)) {
+                memo.insert(fr.idx(), EMPTY, EMPTY, EMPTY, r);
+                return Some(r.xor_parity(p));
             }
         }
-        let node = self.nodes[f.idx()];
-        let lo = self.rename_mono_rec(node.lo, map, token, memo)?;
-        let hi = self.rename_mono_rec(node.hi, map, token, memo)?;
-        let v = map[node.var as usize];
+        let i = fr.idx();
+        let (var, lo_raw, hi_raw) = (self.var_col[i], self.lo_col[i], self.hi_col[i]);
+        let lo = self.rename_mono_rec(lo_raw, map, token, memo)?;
+        let hi = self.rename_mono_rec(hi_raw, map, token, memo)?;
+        let v = map[var as usize];
         let vl = self.level_of_var[v as usize];
         for child in [lo, hi] {
-            if !child.is_terminal() && self.level_of_var[self.nodes[child.idx()].var as usize] <= vl
-            {
+            if !child.is_terminal() && self.level_of_var[self.var_col[child.idx()] as usize] <= vl {
                 return None;
             }
         }
         let r = self.mk(v, lo, hi);
-        memo.insert(f, r);
+        memo.insert(fr.idx(), EMPTY, EMPTY, EMPTY, r);
         if let Some(tok) = token {
-            self.cache.insert(OP_RENAME, f, EMPTY, NodeRef(tok), r);
+            self.cache.insert(OP_RENAME, fr, EMPTY, NodeRef(tok), r);
         }
-        Some(r)
+        Some(r.xor_parity(p))
     }
 
     fn rename_rec(
@@ -1591,48 +1858,51 @@ impl Bdd {
         f: NodeRef,
         map: &[u32],
         token: Option<u32>,
-        memo: &mut RenameMemo,
+        memo: &mut SlotMemo,
     ) -> NodeRef {
         if f.is_terminal() {
             return f;
         }
-        if let Some(r) = memo.get(f) {
-            return r;
+        let p = f.parity();
+        let fr = f.regular();
+        if let Some(r) = memo.get(fr.idx(), EMPTY, EMPTY, EMPTY) {
+            return r.xor_parity(p);
         }
         if let Some(tok) = token {
-            if let Some(r) = self.cache.lookup(OP_RENAME, f, EMPTY, NodeRef(tok)) {
-                memo.insert(f, r);
-                return r;
+            if let Some(r) = self.cache.lookup(OP_RENAME, fr, EMPTY, NodeRef(tok)) {
+                memo.insert(fr.idx(), EMPTY, EMPTY, EMPTY, r);
+                return r.xor_parity(p);
             }
         }
-        let node = self.nodes[f.idx()];
-        let lo = self.rename_rec(node.lo, map, token, memo);
-        let hi = self.rename_rec(node.hi, map, token, memo);
-        let v = map[node.var as usize];
+        let i = fr.idx();
+        let (var, lo_raw, hi_raw) = (self.var_col[i], self.lo_col[i], self.hi_col[i]);
+        let lo = self.rename_rec(lo_raw, map, token, memo);
+        let hi = self.rename_rec(hi_raw, map, token, memo);
+        let v = map[var as usize];
         let vf = self.var(Var(v));
         let r = self.ite(vf, hi, lo);
-        memo.insert(f, r);
+        memo.insert(fr.idx(), EMPTY, EMPTY, EMPTY, r);
         if let Some(tok) = token {
-            self.cache.insert(OP_RENAME, f, EMPTY, NodeRef(tok), r);
+            self.cache.insert(OP_RENAME, fr, EMPTY, NodeRef(tok), r);
         }
-        r
+        r.xor_parity(p)
     }
 
     /// The set of variables `f` essentially depends on, sorted by current
     /// level (root-most first).
     pub fn support(&self, f: NodeRef) -> Vec<Var> {
         let mut marks = self.marks.take();
-        marks.begin(self.nodes.len());
+        marks.begin(self.var_col.len());
         let mut vars: Vec<u32> = Vec::new();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if n.is_terminal() || !marks.mark(n) {
                 continue;
             }
-            let node = &self.nodes[n.idx()];
-            vars.push(node.var);
-            stack.push(node.lo);
-            stack.push(node.hi);
+            let i = n.idx();
+            vars.push(self.var_col[i]);
+            stack.push(self.lo_col[i]);
+            stack.push(self.hi_col[i]);
         }
         self.marks.replace(marks);
         vars.sort_by_key(|&v| self.level_of_var[v as usize]);
@@ -1644,8 +1914,14 @@ impl Bdd {
     pub fn eval(&self, f: NodeRef, val: impl Fn(Var) -> bool) -> bool {
         let mut n = f;
         while !n.is_terminal() {
-            let node = &self.nodes[n.idx()];
-            n = if val(Var(node.var)) { node.hi } else { node.lo };
+            let i = n.idx();
+            let p = n.parity();
+            let c = if val(Var(self.var_col[i])) {
+                self.hi_col[i]
+            } else {
+                self.lo_col[i]
+            };
+            n = c.xor_parity(p);
         }
         n.is_true()
     }
@@ -1674,7 +1950,9 @@ impl Bdd {
     }
 
     /// Counts assignments over the variables strictly below (and including)
-    /// the node's level; `None` on overflow.
+    /// the node's level; `None` on overflow. Memoized on the full handle
+    /// (complement bit included): a node and its complement count different
+    /// functions.
     fn sat_count_rec(&self, f: NodeRef, memo: &mut HashMap<NodeRef, u128>) -> Option<u128> {
         let nvars = self.num_vars() as u32;
         if f.is_false() {
@@ -1686,8 +1964,11 @@ impl Bdd {
         if let Some(&c) = memo.get(&f) {
             return Some(c);
         }
-        let node = &self.nodes[f.idx()];
-        let level = self.level_of_var[node.var as usize];
+        let i = f.idx();
+        let p = f.parity();
+        let level = self.level_of_var[self.var_col[i] as usize];
+        let lo = self.lo_col[i].xor_parity(p);
+        let hi = self.hi_col[i].xor_parity(p);
         let clevel = |child: NodeRef| {
             if child.is_terminal() {
                 nvars
@@ -1695,10 +1976,10 @@ impl Bdd {
                 self.level_of_node(child)
             }
         };
-        let lo = self.sat_count_rec(node.lo, memo)?;
-        let hi = self.sat_count_rec(node.hi, memo)?;
-        let wlo = shl_checked(lo, clevel(node.lo) - level - 1)?;
-        let whi = shl_checked(hi, clevel(node.hi) - level - 1)?;
+        let lc = self.sat_count_rec(lo, memo)?;
+        let hc = self.sat_count_rec(hi, memo)?;
+        let wlo = shl_checked(lc, clevel(lo) - level - 1)?;
+        let whi = shl_checked(hc, clevel(hi) - level - 1)?;
         let c = wlo.checked_add(whi)?;
         memo.insert(f, c);
         Some(c)
@@ -1712,14 +1993,18 @@ impl Bdd {
         }
         let mut cube = Vec::new();
         let mut n = f;
+        // Every non-FALSE function is satisfiable (canonical form), so
+        // descending into any non-FALSE cofactor maintains the invariant.
         while !n.is_terminal() {
-            let node = &self.nodes[n.idx()];
-            if node.hi.is_false() {
-                cube.push((Var(node.var), false));
-                n = node.lo;
+            let i = n.idx();
+            let p = n.parity();
+            let hc = self.hi_col[i].xor_parity(p);
+            if hc.is_false() {
+                cube.push((Var(self.var_col[i]), false));
+                n = self.lo_col[i].xor_parity(p);
             } else {
-                cube.push((Var(node.var), true));
-                n = node.hi;
+                cube.push((Var(self.var_col[i]), true));
+                n = hc;
             }
         }
         debug_assert!(n.is_true());
@@ -1727,9 +2012,10 @@ impl Bdd {
     }
 
     /// Number of distinct nodes (terminals excluded) reachable from `roots`.
+    /// A node and its complement handle count once — they are one node.
     pub fn size(&self, roots: &[NodeRef]) -> usize {
         let mut marks = self.marks.take();
-        marks.begin(self.nodes.len());
+        marks.begin(self.var_col.len());
         let mut stack: Vec<NodeRef> = roots.to_vec();
         let mut count = 0;
         while let Some(n) = stack.pop() {
@@ -1737,9 +2023,9 @@ impl Bdd {
                 continue;
             }
             count += 1;
-            let node = &self.nodes[n.idx()];
-            stack.push(node.lo);
-            stack.push(node.hi);
+            let i = n.idx();
+            stack.push(self.lo_col[i]);
+            stack.push(self.hi_col[i]);
         }
         self.marks.replace(marks);
         count
@@ -1747,7 +2033,7 @@ impl Bdd {
 
     /// Total allocated (live or dead) non-terminal nodes in the store.
     pub fn allocated_nodes(&self) -> usize {
-        self.nodes.len() - 2 - self.free.len()
+        self.var_col.len() - 1 - self.free_len
     }
 
     /// Mark-and-sweep garbage collection: frees every node not reachable
@@ -1755,25 +2041,37 @@ impl Bdd {
     /// from `roots` remain valid. Returns the number of nodes freed.
     pub fn gc(&mut self, roots: &[NodeRef]) -> usize {
         let mut marks = self.marks.take();
-        marks.begin(self.nodes.len());
+        marks.begin(self.var_col.len());
         let mut stack: Vec<NodeRef> = roots.to_vec();
         while let Some(n) = stack.pop() {
             if n.is_terminal() || !marks.mark(n) {
                 continue;
             }
-            let node = &self.nodes[n.idx()];
-            stack.push(node.lo);
-            stack.push(node.hi);
+            let i = n.idx();
+            stack.push(self.lo_col[i]);
+            stack.push(self.hi_col[i]);
         }
-        let before = self.free.len();
+        let mut dropped: Vec<NodeRef> = Vec::new();
         for table in &mut self.unique {
-            table.retain(|n| marks.is_marked(n), &mut self.free);
+            table.retain(|n| marks.is_marked(n), &mut dropped);
         }
         self.marks.replace(marks);
-        let freed = self.free.len() - before;
+        let freed = dropped.len();
+        for n in dropped {
+            self.free_push(n.idx());
+        }
         self.reclaimed_nodes += freed as u64;
-        self.cache.invalidate();
-        self.andex.invalidate();
+        // Collection moves no node, so a cache entry stays valid exactly
+        // when everything it mentions survived. Freed slots are not reused
+        // until a later `mk`, so the FREE_VAR test below is race-free.
+        // `EMPTY` passes as key padding; token keys (variable ids, rename
+        // signatures) are at worst dropped spuriously.
+        let (var_col, n) = (&self.var_col, self.var_col.len());
+        let alive = |r: NodeRef| {
+            r.is_terminal() || r == EMPTY || (r.idx() < n && var_col[r.idx()] != FREE_VAR)
+        };
+        self.cache.retain(alive);
+        self.andex.retain(alive);
         freed
     }
 
@@ -1784,33 +2082,145 @@ impl Bdd {
         self.andex.invalidate();
     }
 
-    /// Renders the graph rooted at `roots` in Graphviz DOT format.
+    /// Walks the whole store and panics on any violation of the kernel's
+    /// representation invariants:
+    ///
+    /// * stored handles (table values and hi edges) are regular — no
+    ///   complemented then-edges anywhere;
+    /// * every unique-table entry matches the arena columns, labels its own
+    ///   variable, is reduced (`lo != hi`), respects the level order, and
+    ///   appears in exactly one table;
+    /// * children are live (never free-list slots);
+    /// * table entries + free-list slots exactly tile the arena, and the
+    ///   free-list thread has the recorded length;
+    /// * while sifting-time refcounts are active, every count is at least
+    ///   the node's in-table reference count.
+    ///
+    /// Intended for tests and `debug_assert!`-gated self-checks (the sift
+    /// epilogue runs it in debug builds); it is O(arena) and allocates.
+    pub fn check_canonical(&self) {
+        let n = self.var_col.len();
+        assert_eq!(self.lo_col.len(), n, "column length mismatch");
+        assert_eq!(self.hi_col.len(), n, "column length mismatch");
+        assert_eq!(
+            self.var_col[0], TERMINAL_VAR,
+            "index 0 must be the terminal"
+        );
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut entries = 0usize;
+        let mut table_refs = vec![0u32; n];
+        for (var, table) in self.unique.iter().enumerate() {
+            for (lo, hi, node) in table.iter() {
+                entries += 1;
+                assert_eq!(node.parity(), 0, "table holds a complemented handle");
+                let i = node.idx();
+                assert!(i < n, "table handle out of bounds");
+                assert!(!seen[i], "node {i} appears in two tables");
+                seen[i] = true;
+                assert_eq!(self.var_col[i], var as u32, "table/column var mismatch");
+                assert_eq!(self.lo_col[i], lo, "table/column lo mismatch");
+                assert_eq!(self.hi_col[i], hi, "table/column hi mismatch");
+                assert_eq!(hi.parity(), 0, "complemented hi edge at node {i}");
+                assert_ne!(lo, hi, "unreduced node {i}");
+                for child in [lo, hi] {
+                    if !child.is_terminal() {
+                        let ci = child.idx();
+                        assert!(ci < n, "child out of bounds");
+                        let cv = self.var_col[ci];
+                        assert_ne!(cv, FREE_VAR, "node {i} points at freed slot {ci}");
+                        assert!(
+                            self.level_of_var[var] < self.level_of_var[cv as usize],
+                            "level order violated at node {i}"
+                        );
+                        table_refs[ci] += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            entries,
+            self.allocated_nodes(),
+            "unique-table entries vs allocated nodes"
+        );
+        let mut free_cnt = 0usize;
+        let mut i = self.free_head;
+        while i != NO_FREE {
+            let ii = i as usize;
+            assert!(ii < n, "free-list index out of bounds");
+            assert_eq!(self.var_col[ii], FREE_VAR, "free slot not marked FREE_VAR");
+            assert!(!seen[ii], "free slot {ii} also sits in a unique table");
+            free_cnt += 1;
+            assert!(free_cnt <= self.free_len, "free-list longer than recorded");
+            i = self.lo_col[ii].0;
+        }
+        assert_eq!(free_cnt, self.free_len, "free-list length mismatch");
+        assert_eq!(
+            entries + self.free_len + 1,
+            n,
+            "arena not tiled by tables + free-list"
+        );
+        if self.rc_active {
+            for (idx, &refs) in table_refs.iter().enumerate() {
+                if refs > 0 {
+                    assert!(
+                        self.rc[idx] >= refs,
+                        "rc[{idx}] = {} below its in-table reference count {refs}",
+                        self.rc[idx]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Renders the graph rooted at `roots` in Graphviz DOT format. The
+    /// single terminal renders as a box labelled `1`; complemented edges
+    /// carry a dot-shaped arrowhead, low edges are dashed.
     pub fn to_dot(&self, roots: &[(&str, NodeRef)]) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
         let mut seen = std::collections::HashSet::new();
         let mut stack = Vec::new();
+        let edge_attrs = |to: NodeRef, dashed: bool| -> String {
+            let mut attrs = Vec::new();
+            if dashed {
+                attrs.push("style=dashed");
+            }
+            if to.parity() == 1 {
+                attrs.push("arrowhead=odot");
+            }
+            if attrs.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", attrs.join(","))
+            }
+        };
         for (name, r) in roots {
             let _ = writeln!(out, "  \"{name}\" [shape=plaintext];");
-            let _ = writeln!(out, "  \"{name}\" -> n{};", r.0);
-            stack.push(*r);
-        }
-        let _ = writeln!(out, "  n0 [shape=box,label=\"0\"];");
-        let _ = writeln!(out, "  n1 [shape=box,label=\"1\"];");
-        while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
-                continue;
-            }
-            let node = &self.nodes[n.idx()];
             let _ = writeln!(
                 out,
-                "  n{} [label=\"{}\"];",
-                n.0, self.var_names[node.var as usize]
+                "  \"{name}\" -> n{}{};",
+                r.idx(),
+                edge_attrs(*r, false)
             );
-            let _ = writeln!(out, "  n{} -> n{} [style=dashed];", n.0, node.lo.0);
-            let _ = writeln!(out, "  n{} -> n{};", n.0, node.hi.0);
-            stack.push(node.lo);
-            stack.push(node.hi);
+            stack.push(r.regular());
+        }
+        let _ = writeln!(out, "  n0 [shape=box,label=\"1\"];");
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n.idx()) {
+                continue;
+            }
+            let i = n.idx();
+            let (lo, hi) = (self.lo_col[i], self.hi_col[i]);
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"{}\"];",
+                self.var_names[self.var_col[i] as usize]
+            );
+            let _ = writeln!(out, "  n{i} -> n{}{};", lo.idx(), edge_attrs(lo, true));
+            let _ = writeln!(out, "  n{i} -> n{}{};", hi.idx(), edge_attrs(hi, false));
+            stack.push(lo.regular());
+            stack.push(hi.regular());
         }
         out.push_str("}\n");
         out
@@ -1818,13 +2228,19 @@ impl Bdd {
 
     // ---- internals shared with the reorder module ----
 
+    /// Raw stored fields of a (regular) node handle: `(var, lo, hi)` with
+    /// the hi edge regular by canonical form.
     pub(crate) fn node(&self, n: NodeRef) -> (u32, NodeRef, NodeRef) {
-        let node = &self.nodes[n.idx()];
-        (node.var, node.lo, node.hi)
+        let i = n.idx();
+        (self.var_col[i], self.lo_col[i], self.hi_col[i])
     }
 
     pub(crate) fn rewrite_node(&mut self, n: NodeRef, var: u32, lo: NodeRef, hi: NodeRef) {
-        self.nodes[n.idx()] = Node { var, lo, hi };
+        debug_assert_eq!(hi.parity(), 0, "rewrite would store a complemented hi edge");
+        let i = n.idx();
+        self.var_col[i] = var;
+        self.lo_col[i] = lo;
+        self.hi_col[i] = hi;
     }
 
     pub(crate) fn unique_table(&self, var: u32) -> &UniqueTable {
@@ -1849,7 +2265,7 @@ impl Bdd {
     /// nodes) and turns on sifting-time reclamation.
     pub(crate) fn rc_begin(&mut self, roots: &[NodeRef]) {
         self.rc.clear();
-        self.rc.resize(self.nodes.len(), 0);
+        self.rc.resize(self.var_col.len(), 0);
         let rc = &mut self.rc;
         for table in &self.unique {
             for (lo, hi, _) in table.iter() {
@@ -1902,7 +2318,63 @@ mod tests {
         assert!(!b.eval(fx, |_| false));
         let nx = b.nvar(x);
         let alt = b.not(fx);
-        assert_eq!(nx, alt, "canonical: !x built two ways is one node");
+        assert_eq!(nx, alt, "canonical: !x built two ways is one handle");
+        b.check_canonical();
+    }
+
+    #[test]
+    fn not_performs_zero_mk_calls() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        let t = b.and(fx, fy);
+        let f = b.xor(t, fz);
+        let mk_before = b.mk_calls();
+        let stats_before = b.stats();
+        let nf = b.not(f);
+        assert_eq!(b.mk_calls(), mk_before, "not() must perform zero mk calls");
+        assert_eq!(
+            b.stats().cache_lookups,
+            stats_before.cache_lookups,
+            "not() must not even probe the operation cache"
+        );
+        assert_ne!(nf, f);
+        for bits in 0..8u32 {
+            let assign = |v: Var| bits & (1 << v.0) != 0;
+            assert_eq!(b.eval(nf, assign), !b.eval(f, assign), "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        let t = b.or(fx, fy);
+        let f = b.iff(t, fz);
+        let n1 = b.not(f);
+        let n2 = b.not(n1);
+        assert_eq!(n2, f, "double negation must be the identity handle");
+        assert_eq!(b.not(NodeRef::TRUE), NodeRef::FALSE);
+        assert_eq!(b.not(NodeRef::FALSE), NodeRef::TRUE);
+    }
+
+    #[test]
+    fn complement_halves_live_nodes() {
+        // A function and its negation must share every node: materializing
+        // ¬f after f allocates nothing.
+        let mut b = Bdd::new();
+        let vars: Vec<Var> = (0..8).map(|i| b.new_var(format!("v{i}"))).collect();
+        let mut f = NodeRef::FALSE;
+        for w in vars.windows(2) {
+            let a = b.var(w[0]);
+            let c = b.var(w[1]);
+            let t = b.and(a, c);
+            f = b.xor(f, t);
+        }
+        let allocated = b.allocated_nodes();
+        let nf = b.not(f);
+        assert_eq!(b.allocated_nodes(), allocated, "¬f allocated new nodes");
+        assert_eq!(b.size(&[f, nf]), b.size(&[f]), "f and ¬f share every node");
+        b.check_canonical();
     }
 
     #[test]
@@ -1919,6 +2391,7 @@ mod tests {
         let ng = b.and(nfx, nfy);
         let g2 = b.not(ng);
         assert_eq!(g1, g2, "De Morgan holds up to node identity");
+        b.check_canonical();
     }
 
     #[test]
@@ -1946,6 +2419,7 @@ mod tests {
             assert_eq!(b.eval(fiff, assign), assign(x) == assign(y));
             assert_eq!(b.eval(fimp, assign), !assign(x) | assign(y));
         }
+        assert_eq!(fiff, b.not(fxor), "iff is xor's complement handle");
     }
 
     #[test]
@@ -1969,6 +2443,24 @@ mod tests {
     }
 
     #[test]
+    fn negated_ops_share_cache_slots() {
+        // Complement-edge normalization folds and/or through De Morgan onto
+        // one canonical ITE triple, so or(¬a, ¬b) must hit the cache entry
+        // left by and(a, b).
+        let (mut b, x, y, _) = setup3();
+        let (fx, fy) = (b.var(x), b.var(y));
+        let conj = b.and(fx, fy);
+        let hits_before = b.stats().cache_hits;
+        let (nx, ny) = (b.not(fx), b.not(fy));
+        let disj = b.or(nx, ny);
+        assert!(
+            b.stats().cache_hits > hits_before,
+            "or(!a, !b) must share and(a, b)'s cache entry"
+        );
+        assert_eq!(disj, b.not(conj));
+    }
+
+    #[test]
     fn restrict_and_exists() {
         let (mut b, x, y, _) = setup3();
         let (fx, fy) = (b.var(x), b.var(y));
@@ -1984,18 +2476,35 @@ mod tests {
     }
 
     #[test]
+    fn quantifier_duality_shares_memo_entries() {
+        // ∃v. ¬f = ¬(∀v. f): the duality must hold up to handle identity.
+        let (mut b, x, y, z) = setup3();
+        let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
+        let t = b.and(fx, fy);
+        let f = b.or(t, fz);
+        let nf = b.not(f);
+        for v in [x, y, z] {
+            let e = b.exists(nf, v);
+            let a = b.forall(f, v);
+            assert_eq!(e, b.not(a), "∃{v}.!f must equal !(∀{v}.f)");
+        }
+    }
+
+    #[test]
     fn cofactors_match_restrict() {
         let (mut b, x, y, z) = setup3();
         let (fx, fy, fz) = (b.var(x), b.var(y), b.var(z));
         let t = b.and(fx, fy);
         let u = b.xor(fy, fz);
         let f = b.or(t, u);
-        for v in [x, y, z] {
-            let r0 = b.restrict(f, v, false);
-            let r1 = b.restrict(f, v, true);
-            b.clear_cache();
-            let (c0, c1) = b.cofactors(f, v);
-            assert_eq!((c0, c1), (r0, r1), "cofactors vs restrict at {v}");
+        for root in [f, b.not(f)] {
+            for v in [x, y, z] {
+                let r0 = b.restrict(root, v, false);
+                let r1 = b.restrict(root, v, true);
+                b.clear_cache();
+                let (c0, c1) = b.cofactors(root, v);
+                assert_eq!((c0, c1), (r0, r1), "cofactors vs restrict at {v}");
+            }
         }
     }
 
@@ -2045,6 +2554,12 @@ mod tests {
         assert_eq!(b.support(f), vec![x]);
         let g = b.and(fy, fz);
         assert_eq!(b.support(g), vec![y, z]);
+        let ng = b.not(g);
+        assert_eq!(
+            b.support(ng),
+            vec![y, z],
+            "support ignores the complement bit"
+        );
     }
 
     #[test]
@@ -2060,6 +2575,10 @@ mod tests {
         assert_eq!(b.sat_count(g), 7);
         let h = b.xor(fx, fy);
         assert_eq!(b.sat_count(h), 4);
+        let nh = b.not(h);
+        assert_eq!(b.sat_count(nh), 4, "complement counts the complement set");
+        let nf = b.not(f);
+        assert_eq!(b.sat_count(nf), 6);
     }
 
     #[test]
@@ -2095,6 +2614,12 @@ mod tests {
         let assign = |v: Var| cube.iter().any(|&(cv, val)| cv == v && val);
         assert!(b.eval(f, assign));
         assert_eq!(b.pick_cube(NodeRef::FALSE), None);
+        // A witness from a complemented handle satisfies the complement.
+        let nf = b.not(f);
+        let ncube = b.pick_cube(nf).unwrap();
+        let nassign = |v: Var| ncube.iter().any(|&(cv, val)| cv == v && val);
+        assert!(b.eval(nf, nassign));
+        assert!(!b.eval(f, nassign));
     }
 
     #[test]
@@ -2109,9 +2634,35 @@ mod tests {
         assert_eq!(b.allocated_nodes(), before - freed);
         // keep still evaluates correctly after gc
         assert!(b.eval(keep, |_| true));
-        // and new operations still work
-        let again = b.and(fx, fy);
+        // and rebuilding the collected structure lands on the same handle
+        let fx2 = b.var(x);
+        let fy2 = b.var(y);
+        let again = b.and(fx2, fy2);
         assert_eq!(again, keep);
+        b.check_canonical();
+    }
+
+    #[test]
+    fn check_canonical_accepts_a_worked_manager() {
+        let mut b = Bdd::new();
+        let vars: Vec<Var> = (0..6).map(|i| b.new_var(format!("v{i}"))).collect();
+        let mut f = NodeRef::TRUE;
+        for w in vars.windows(2) {
+            let a = b.var(w[0]);
+            let c = b.nvar(w[1]);
+            let t = b.or(a, c);
+            f = b.and(f, t);
+        }
+        let g = b.xor(f, b.constant(true));
+        b.check_canonical();
+        // Free-list threading must survive a gc + re-allocation cycle.
+        b.gc(&[f]);
+        b.check_canonical();
+        let _ = g; // g was collected; rebuild something over the free slots
+        let lits: Vec<NodeRef> = vars.iter().map(|&v| b.var(v)).collect();
+        let h = b.or_all(lits);
+        assert!(!h.is_false());
+        b.check_canonical();
     }
 
     #[test]
@@ -2187,6 +2738,10 @@ mod tests {
         assert!(dot.contains("\"f\""));
         assert!(dot.contains("n0 [shape=box"));
         assert!(dot.contains("label=\"x\""));
+        // Complement edges are visible: ¬x's root edge carries the marker.
+        let nfx = b.not(fx);
+        let ndot = b.to_dot(&[("g", nfx)]);
+        assert!(ndot.contains("arrowhead=odot"));
     }
 
     #[test]
@@ -2211,6 +2766,10 @@ mod tests {
         // Untouched variables and empty maps are identities.
         assert_eq!(b.rename(f, &[]), f);
         assert_eq!(b.rename(f, &[(z, z)]), f);
+        // Renaming commutes with complement up to handle identity.
+        let nf = b.not(f);
+        let nr = b.rename(nf, &[(y, z)]);
+        assert_eq!(nr, b.not(expect));
     }
 
     #[test]

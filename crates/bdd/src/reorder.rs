@@ -88,10 +88,17 @@ impl Bdd {
         for (n, lo, hi) in interacting {
             // Cofactors of the function at `n` over (x, y):
             // n = x ? hi : lo, so f_{x=a, y=b} = (a ? hi : lo)|_{y=b}.
+            // The lo edge may carry the complement bit; push its parity onto
+            // the extracted cofactors so they denote the true sub-functions.
+            // The hi edge is regular by canonical form, so its raw children
+            // are already the true cofactors — and f11 in particular stays
+            // regular, which guarantees `new_hi` below is regular as
+            // `rewrite_node` requires.
             let (lo_var, lo_lo, lo_hi) = self.node(lo);
             let (hi_var, hi_lo, hi_hi) = self.node(hi);
+            let pl = lo.parity();
             let (f00, f01) = if lo_var == y {
-                (lo_lo, lo_hi)
+                (lo_lo.xor_parity(pl), lo_hi.xor_parity(pl))
             } else {
                 (lo, lo)
             };
@@ -156,6 +163,12 @@ impl Bdd {
             }
         }
         self.rc_end();
+        // Sifting rewrites nodes in place; in debug builds, re-verify the
+        // whole-arena invariants (no complemented hi edges, unique-table
+        // consistency, free-list tiling) before handing handles back.
+        if cfg!(debug_assertions) {
+            self.check_canonical();
+        }
         best
     }
 

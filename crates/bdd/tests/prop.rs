@@ -330,3 +330,115 @@ fn support_is_exact() {
         }
     }
 }
+
+/// Complement-edge equivalence suite: every derived operator, rebuilt the
+/// "old" way from its defining identity over `not`, must land on the exact
+/// handle the direct ("new", ITE-normalized) call produces — checked on
+/// seeded random functions up to 12 variables with a truth-table oracle
+/// per case confirming both against brute force.
+#[test]
+fn derived_ops_match_their_negation_identities_up_to_12_vars() {
+    for nvars in [6usize, 9, 12] {
+        for case in 0..24u64 {
+            let mut rng = Rng::new(0xc0_0b1a5 ^ (nvars as u64) << 40 ^ case.wrapping_mul(0x9e37));
+            let mut bdd = Bdd::new();
+            let vars: Vec<Var> = (0..nvars).map(|i| bdd.new_var(format!("x{i}"))).collect();
+            let ea = case_expr(case.wrapping_mul(3) ^ nvars as u64);
+            let eb = case_expr(case.wrapping_mul(5) ^ 0x7777);
+            // Spread the 6-var expressions over the wider rail so high
+            // levels participate too.
+            let lo_slice = &vars[..NVARS];
+            let hi_slice = &vars[nvars - NVARS..];
+            let fa = ea.build(&mut bdd, lo_slice);
+            let fb = eb.build(&mut bdd, hi_slice);
+
+            // or(a, b) == !(!a & !b)
+            let direct_or = bdd.or(fa, fb);
+            let (na, nb) = (bdd.not(fa), bdd.not(fb));
+            let conj = bdd.and(na, nb);
+            assert_eq!(direct_or, bdd.not(conj), "or nvars={nvars} case={case}");
+            // xor(a, b) == ite(a, !b, b), iff == !xor
+            let direct_xor = bdd.xor(fa, fb);
+            let via_ite = bdd.ite(fa, nb, fb);
+            assert_eq!(direct_xor, via_ite, "xor nvars={nvars} case={case}");
+            let direct_iff = bdd.iff(fa, fb);
+            assert_eq!(
+                direct_iff,
+                bdd.not(direct_xor),
+                "iff nvars={nvars} case={case}"
+            );
+            // implies(a, b) == !(a & !b)
+            let direct_imp = bdd.implies(fa, fb);
+            let anb = bdd.and(fa, nb);
+            assert_eq!(direct_imp, bdd.not(anb), "imp nvars={nvars} case={case}");
+            // and_not(a, b) == a & !b
+            let direct_andnot = bdd.and_not(fa, fb);
+            assert_eq!(direct_andnot, anb, "and_not nvars={nvars} case={case}");
+            // Double negation is the identity handle.
+            let nna = bdd.not(na);
+            assert_eq!(nna, fa, "double-neg nvars={nvars} case={case}");
+
+            // Truth-table oracle on a random sample of assignments (full
+            // 2^12 enumeration per case would be slow in debug builds).
+            for _ in 0..64 {
+                let bits: u64 = rng.usize(0..1 << nvars) as u64;
+                let assign = |v: Var| {
+                    let i = vars.iter().position(|&x| x == v).unwrap();
+                    bits & (1 << i) != 0
+                };
+                let (a, b) = (bdd.eval(fa, assign), bdd.eval(fb, assign));
+                assert_eq!(bdd.eval(direct_or, assign), a | b);
+                assert_eq!(bdd.eval(direct_xor, assign), a ^ b);
+                assert_eq!(bdd.eval(direct_iff, assign), a == b);
+                assert_eq!(bdd.eval(direct_imp, assign), !a | b);
+                assert_eq!(bdd.eval(direct_andnot, assign), a & !b);
+            }
+            bdd.check_canonical();
+        }
+    }
+}
+
+/// `not()` is a zero-allocation bit flip on arbitrary seeded functions:
+/// no `mk` calls, no cache probes, and the complement evaluates opposite
+/// everywhere.
+#[test]
+fn not_is_free_on_random_functions() {
+    for case in 0..CASES {
+        let expr = case_expr(case);
+        let (mut bdd, vars, f) = setup(&expr);
+        let mk_before = bdd.mk_calls();
+        let lookups_before = bdd.stats().cache_lookups;
+        let nf = bdd.not(f);
+        assert_eq!(bdd.mk_calls(), mk_before, "case={case}: not() called mk");
+        assert_eq!(
+            bdd.stats().cache_lookups,
+            lookups_before,
+            "case={case}: not() probed the op cache"
+        );
+        assert_eq!(bdd.not(nf), f, "case={case}: double negation");
+        for bits in 0..1u32 << NVARS {
+            let assign = |v: Var| {
+                let i = vars.iter().position(|&x| x == v).unwrap();
+                bits & (1 << i) != 0
+            };
+            assert_eq!(bdd.eval(nf, assign), !expr.eval(bits), "case={case}");
+        }
+    }
+}
+
+/// Sifting and random swaps keep the arena canonical under complement
+/// edges (the walker asserts no complemented hi edges survive a reorder).
+#[test]
+fn reordering_keeps_the_arena_canonical() {
+    for case in 0..16u64 {
+        let expr = case_expr(case);
+        let (mut bdd, _vars, f) = setup(&expr);
+        let mut rng = Rng::new(case ^ 0xfeed);
+        for _ in 0..rng.usize(1..10) {
+            bdd.swap_levels(rng.usize(0..NVARS - 1));
+            bdd.check_canonical();
+        }
+        bdd.sift(&[f], &SiftConfig::to_convergence());
+        bdd.check_canonical();
+    }
+}

@@ -161,13 +161,15 @@ fn and_not_is_conjunction_with_negation() {
 }
 
 #[test]
-fn deprecated_exists_all_still_delegates_correctly() {
+fn exists_cube_over_an_iterator_built_cube_matches_folded_exists() {
+    // The migration target for the removed `exists_all(f, vars)` wrapper:
+    // `exists_cube(f, cube(vars))` must behave identically, including on
+    // duplicate-bearing iterators the wrapper used to accept.
     let (mut bdd, _, f, _, subset) = setup(6, 7);
-    #[allow(deprecated)]
-    let wrapped = bdd.exists_all(f, subset.iter().copied());
-    let c = bdd.cube(subset.iter().copied());
-    let expect = bdd.exists_cube(f, c);
-    assert_eq!(wrapped, expect);
+    let c = bdd.cube(subset.iter().chain(subset.iter()).copied());
+    let single = bdd.exists_cube(f, c);
+    let folded = subset.iter().fold(f, |acc, &v| bdd.exists(acc, v));
+    assert_eq!(single, folded);
 }
 
 /// Substitution oracle: `rename(f, pairs)` must equal

@@ -213,6 +213,11 @@ fn main() {
 
     let mut json = String::from("{\n  \"bench\": \"bdd_kernel\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"node_bytes\": {},\n  \"node_ref_bytes\": {},\n",
+        polis_bdd::NODE_BYTES,
+        std::mem::size_of::<NodeRef>()
+    ));
     json.push_str("  \"baseline_commit\": \"c7fb732\",\n  \"baseline\": [");
     for (i, (name, wall_ms, peak, hit)) in BASELINE.iter().enumerate() {
         if i > 0 {
@@ -255,6 +260,21 @@ fn main() {
 
     if check {
         let mut failures = Vec::new();
+        // Layout gate: the complement-edge handle must stay one machine
+        // word half (the packed index + parity bit), and a stored node
+        // must stay three 4-byte columns.
+        if std::mem::size_of::<NodeRef>() != 4 {
+            failures.push(format!(
+                "NodeRef is {} bytes, expected 4",
+                std::mem::size_of::<NodeRef>()
+            ));
+        }
+        if polis_bdd::NODE_BYTES != 12 {
+            failures.push(format!(
+                "per-node storage is {} bytes, expected 12",
+                polis_bdd::NODE_BYTES
+            ));
+        }
         for r in &results {
             // The seed examples' BDDs are small, so hit rates sit in the
             // 0.05..0.25 band (baseline kernel included); the floor exists

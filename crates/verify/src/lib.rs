@@ -153,6 +153,9 @@ pub struct VerifyStats {
     /// Sifting passes triggered between fixpoint iterations by
     /// [`VerifyOptions::reorder_threshold`].
     pub mid_reach_reorders: u64,
+    /// Garbage collections triggered mid-traversal by the dead-node
+    /// ratio policy (see `reach::enforce_budget`).
+    pub mid_reach_collections: u64,
     /// Wall-clock time of model construction plus traversal.
     pub wall: Duration,
 }

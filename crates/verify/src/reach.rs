@@ -51,32 +51,54 @@ fn react_image(bdd: &mut Bdd, step: &ReactStep, from: NodeRef) -> NodeRef {
     bdd.rename(a, &step.rename)
 }
 
+/// Collections never fire while the arena is below this level, so small
+/// and mid-size models keep their op caches warm for the whole traversal
+/// (every seed example and the relay chains up to width 8 stay under it).
+const GC_FLOOR: usize = 1 << 18;
+
+/// After a collection the next one is armed at `GC_REGROW ×` the live
+/// size (but never below [`GC_FLOOR`]), so a traversal whose live set
+/// genuinely approaches the trigger does not thrash collections that
+/// can reclaim almost nothing.
+const GC_REGROW: usize = 4;
+
 /// Reclaims dead nodes and errors out if the live set still exceeds the
 /// budget. `persistent` are the model's fixed roots (relation, init,
 /// cubes, enabling conditions); `live` are the traversal's working roots.
+///
+/// Besides the hard budget, a garbage-pressure policy bounds the peak
+/// arena: once allocation crosses the current trigger ([`GC_FLOOR`] to
+/// start, re-armed by [`GC_REGROW`] after each collection), the dead
+/// majority is collected immediately instead of lingering until the
+/// budget (or the reorder threshold) is hit. Collection never changes any
+/// function a handle denotes, so reached sets and verdicts are untouched.
 fn enforce_budget(
     bdd: &mut Bdd,
     opts: &VerifyOptions,
-    stats: &VerifyStats,
+    stats: &mut VerifyStats,
+    gc_trigger: &mut usize,
     persistent: &[NodeRef],
     live: &[NodeRef],
     working: &[NodeRef],
 ) -> Result<(), VerifyError> {
-    if bdd.allocated_nodes() <= opts.node_budget {
+    let allocated = bdd.allocated_nodes();
+    if allocated <= *gc_trigger && allocated <= opts.node_budget {
         return Ok(());
     }
     let mut roots = persistent.to_vec();
     roots.extend_from_slice(live);
     roots.extend_from_slice(working);
     bdd.gc(&roots);
-    let allocated = bdd.allocated_nodes();
-    if allocated > opts.node_budget {
+    stats.mid_reach_collections += 1;
+    let live_now = bdd.allocated_nodes();
+    if live_now > opts.node_budget {
         return Err(VerifyError::NodeBudgetExceeded {
             budget: opts.node_budget,
-            allocated,
+            allocated: live_now,
             image_steps: stats.image_steps,
         });
     }
+    *gc_trigger = (live_now * GC_REGROW).max(GC_FLOOR);
     Ok(())
 }
 
@@ -99,6 +121,7 @@ pub(crate) fn fixpoint(
     // *stays* large after one reorder does not sift again on every
     // iteration.
     let mut next_reorder = opts.reorder_threshold;
+    let mut gc_trigger = GC_FLOOR;
     while !frontier.is_false() {
         stats.iterations += 1;
         let mut imgs: Vec<NodeRef> =
@@ -111,6 +134,7 @@ pub(crate) fn fixpoint(
                 &mut model.bdd,
                 opts,
                 stats,
+                &mut gc_trigger,
                 &persistent,
                 &[reached, frontier],
                 &imgs,
@@ -124,6 +148,7 @@ pub(crate) fn fixpoint(
                 &mut model.bdd,
                 opts,
                 stats,
+                &mut gc_trigger,
                 &persistent,
                 &[reached, frontier],
                 &imgs,
@@ -146,6 +171,7 @@ pub(crate) fn fixpoint(
                 &mut model.bdd,
                 opts,
                 stats,
+                &mut gc_trigger,
                 &persistent,
                 &[reached, frontier],
                 &imgs,
@@ -171,6 +197,7 @@ pub(crate) fn fixpoint(
             &mut model.bdd,
             opts,
             stats,
+            &mut gc_trigger,
             &persistent,
             &[reached, frontier],
             &[],

@@ -17,8 +17,18 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> kernel bench smoke (regression thresholds)"
+echo "==> kernel bench smoke (regression thresholds + 4-byte NodeRef / 12-byte node gate)"
 ./target/release/kernel --smoke --check --out /tmp/bench_bdd_kernel_smoke.json
+
+echo "==> generated C is byte-identical across --jobs values on every example spec"
+rm -rf /tmp/polis_ci_synth
+for spec in examples/specs/*.pol; do
+  name="$(basename "$spec" .pol)"
+  ./target/release/polis synth "$spec" -o "/tmp/polis_ci_synth/$name.j1" --jobs 1 >/dev/null
+  ./target/release/polis synth "$spec" -o "/tmp/polis_ci_synth/$name.j4" --jobs 4 >/dev/null
+  diff -r "/tmp/polis_ci_synth/$name.j1" "/tmp/polis_ci_synth/$name.j4" \
+    || { echo "FAIL: $spec synthesis output differs between --jobs 1 and --jobs 4"; exit 1; }
+done
 
 echo "==> symbolic verification of the example networks"
 for spec in examples/specs/*.pol; do
