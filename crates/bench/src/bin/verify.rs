@@ -22,7 +22,8 @@ use polis_cfsm::Network;
 use polis_core::random::{random_network, RandomSpec};
 use polis_core::trace::escape_json;
 use polis_core::workloads;
-use polis_verify::{Verifier, VerifyOptions, VerifyReport};
+use polis_lang::parse_properties;
+use polis_verify::{verify_with_props, PropReport, Verifier, VerifyOptions, VerifyReport};
 use std::time::Instant;
 
 /// One measured verification case.
@@ -30,6 +31,9 @@ struct CaseResult {
     name: String,
     wall_ms: f64,
     report: VerifyReport,
+    /// Property-suite pass (workload cases only; the relay chains ship
+    /// no suite and report zero columns).
+    prop: Option<PropReport>,
 }
 
 impl CaseResult {
@@ -53,7 +57,10 @@ impl CaseResult {
              \"deadlock\": {},\n      \
              \"andex_lookups\": {},\n      \"andex_hits\": {},\n      \
              \"cube_quant_calls\": {},\n      \"constrain_reduced_nodes\": {},\n      \
-             \"mid_reach_reorders\": {},\n      \"mid_reach_collections\": {}\n    }}",
+             \"mid_reach_reorders\": {},\n      \"mid_reach_collections\": {},\n      \
+             \"props_checked\": {},\n      \"prop_violations\": {},\n      \
+             \"prop_wall_ms\": {:.3},\n      \"max_trace_len\": {},\n      \
+             \"preimage_nodes\": {}\n    }}",
             escape_json(&self.name),
             self.wall_ms,
             self.report.machines,
@@ -74,6 +81,13 @@ impl CaseResult {
             s.constrain_reduced_nodes,
             s.mid_reach_reorders,
             s.mid_reach_collections,
+            self.prop.as_ref().map_or(0, |p| p.checked),
+            self.prop.as_ref().map_or(0, |p| p.violations),
+            self.prop
+                .as_ref()
+                .map_or(0.0, |p| p.wall.as_secs_f64() * 1e3),
+            self.prop.as_ref().map_or(0, |p| p.max_trace_len),
+            self.prop.as_ref().map_or(0, |p| p.preimage_nodes),
         )
     }
 }
@@ -182,10 +196,22 @@ fn run_case(name: &str, net: &Network) -> CaseResult {
     let mut v = Verifier::run(net, &VerifyOptions::default())
         .unwrap_or_else(|e| panic!("{name}: verification failed: {e}"));
     let report = v.report();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    // The property pass is a separate run with ring storage on, so the
+    // measurement above keeps the exact PR6 memory/timing profile.
+    let suite = workloads::property_suite(net.name());
+    let prop = (!suite.is_empty()).then(|| {
+        let props = parse_properties(net, suite)
+            .unwrap_or_else(|e| panic!("{name}: bad property suite: {e}"));
+        let (_, pr) = verify_with_props(net, &props, &VerifyOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: property pass failed: {e}"));
+        pr
+    });
     CaseResult {
         name: name.to_owned(),
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        wall_ms,
         report,
+        prop,
     }
 }
 
@@ -368,6 +394,20 @@ fn main() {
             s.mid_reach_reorders,
             s.mid_reach_collections,
         );
+        if let Some(p) = &r.prop {
+            println!(
+                "{:<18} {:>9.2} ms  props {:>3}  violated {:>3}  max trace {:>3}  \
+                 rings {:>4}{}  preimage nodes {}",
+                format!("  {} props", r.name),
+                p.wall.as_secs_f64() * 1e3,
+                p.checked,
+                p.violations,
+                p.max_trace_len,
+                p.rings_stored,
+                if p.rings_complete { "" } else { " (capped)" },
+                p.preimage_nodes,
+            );
+        }
     }
 
     let mut json = String::from("{\n  \"bench\": \"verify\",\n");
@@ -466,6 +506,23 @@ fn main() {
                         s.peak_live_nodes,
                         pr5 * 7 / 10,
                         pr5
+                    ));
+                }
+            }
+            // Property passes must check the whole suite and decode a
+            // trace for every violation (the example fixpoints are far
+            // below the ring cap, so cube-only degradation here is a bug).
+            if let Some(p) = &r.prop {
+                if p.checked == 0 {
+                    failures.push(format!("{}: empty property suite ran", r.name));
+                }
+                if !p.rings_complete {
+                    failures.push(format!("{}: trace rings unexpectedly capped", r.name));
+                }
+                if p.violations > 0 && p.max_trace_len == 0 {
+                    failures.push(format!(
+                        "{}: {} violations but no decoded trace",
+                        r.name, p.violations
                     ));
                 }
             }

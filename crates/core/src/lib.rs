@@ -38,7 +38,8 @@ pub mod trace;
 pub mod workloads;
 
 pub use pipeline::{
-    synthesize_cfsm, synthesize_network_staged, Stage, SynthCtx, SynthError, SynthFailure,
+    synthesize_cfsm, synthesize_network_staged, verify_properties_staged, Stage, SynthCtx,
+    SynthError, SynthFailure,
 };
 pub use trace::{MetricValue, StageRecord, SynthTrace};
 

@@ -251,6 +251,62 @@ pub fn seat_belt() -> Network {
     .expect("seat belt network parses")
 }
 
+/// The property suite shipped with each example workload, in `.pol`
+/// `properties` syntax. Each suite has at least one `assert never` and
+/// one `assert reachable`; the expected verdicts are pinned by the
+/// `props` integration tests and gated by `scripts/ci.sh`. Deliberately
+/// not all-green — the violated assertions exercise the counterexample
+/// trace decoder on every run. Unknown names get an empty suite.
+pub fn property_suite(name: &str) -> &'static str {
+    match name {
+        // `simple` is a single-state machine, so the interesting atoms
+        // are event presences. A delivered `c` violates the second
+        // assertion immediately (shortest possible counterexample).
+        "simple" => {
+            "properties {
+    assert reachable simple.c;
+    assert never simple@awaiting && simple.c;
+}
+"
+        }
+        // The alarm state is genuinely reachable; control states are
+        // exclusive; and nothing stops the driver fastening the belt
+        // while the alarm is already sounding (violated, with a trace
+        // through key_on and five ticks).
+        "seat_belt" => {
+            "properties {
+    assert reachable belt_control@alarm;
+    assert never belt_control@off && belt_control@waiting;
+    assert never belt_control@alarm && belt_control.belt_on;
+}
+"
+        }
+        // Sport mode is reachable at speed; mode states are exclusive;
+        // the watchdog can starve while a PWM tick is pending at the
+        // actuator (violated — deliveries are independent of reactions).
+        "shock_absorber" => {
+            "properties {
+    assert reachable mode@sport;
+    assert never mode@comfort && mode@sport;
+    assert never watchdog@starving && act.pwm_tick;
+}
+"
+        }
+        // Both pulse counters can saturate together; counter states are
+        // exclusive; and one timebase reaction of `frc` emits `wticks`
+        // into the speedometer and odometer buffers at once (violated).
+        "dashboard" => {
+            "properties {
+    assert reachable frc@saturated && rpc@saturated;
+    assert never frc@counting && frc@saturated;
+    assert never speedo.wticks && odometer.wticks;
+}
+"
+        }
+        _ => "",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

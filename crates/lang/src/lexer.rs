@@ -33,6 +33,10 @@ pub enum Tok {
     False,
     Min,
     Max,
+    Properties,
+    Assert,
+    Never,
+    Reachable,
     // punctuation / operators
     LBrace,
     RBrace,
@@ -43,6 +47,8 @@ pub enum Tok {
     Semi,
     Colon,
     Comma,
+    Dot,
+    At,
     Assign, // :=
     Question,
     Plus,
@@ -89,6 +95,10 @@ fn spelling(t: &Tok) -> &'static str {
         Tok::False => "false",
         Tok::Min => "min",
         Tok::Max => "max",
+        Tok::Properties => "properties",
+        Tok::Assert => "assert",
+        Tok::Never => "never",
+        Tok::Reachable => "reachable",
         Tok::LBrace => "{",
         Tok::RBrace => "}",
         Tok::LParen => "(",
@@ -98,6 +108,8 @@ fn spelling(t: &Tok) -> &'static str {
         Tok::Semi => ";",
         Tok::Colon => ":",
         Tok::Comma => ",",
+        Tok::Dot => ".",
+        Tok::At => "@",
         Tok::Assign => ":=",
         Tok::Question => "?",
         Tok::Plus => "+",
@@ -204,6 +216,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, (u32, u32, String)> {
                     "false" => Tok::False,
                     "min" => Tok::Min,
                     "max" => Tok::Max,
+                    "properties" => Tok::Properties,
+                    "assert" => Tok::Assert,
+                    "never" => Tok::Never,
+                    "reachable" => Tok::Reachable,
                     _ => Tok::Ident(s),
                 };
                 push!(kind, start_col);
@@ -228,6 +244,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, (u32, u32, String)> {
                     ']' => Tok::RBracket,
                     ';' => Tok::Semi,
                     ',' => Tok::Comma,
+                    '.' => Tok::Dot,
+                    '@' => Tok::At,
                     '?' => Tok::Question,
                     '+' => Tok::Plus,
                     '-' => Tok::Minus,
@@ -338,6 +356,31 @@ mod tests {
                 Tok::Bang,
                 Tok::Question,
                 Tok::Colon,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn property_tokens() {
+        assert_eq!(
+            kinds("properties { assert never m@s; assert reachable m.sig; }"),
+            vec![
+                Tok::Properties,
+                Tok::LBrace,
+                Tok::Assert,
+                Tok::Never,
+                Tok::Ident("m".into()),
+                Tok::At,
+                Tok::Ident("s".into()),
+                Tok::Semi,
+                Tok::Assert,
+                Tok::Reachable,
+                Tok::Ident("m".into()),
+                Tok::Dot,
+                Tok::Ident("sig".into()),
+                Tok::Semi,
+                Tok::RBrace,
                 Tok::Eof
             ]
         );

@@ -1,6 +1,7 @@
 //! Recursive-descent parser and CFSM elaboration.
 
 use crate::lexer::{lex, Tok, Token};
+use crate::prop::{PropExpr, PropKind, Property, Span, Spec};
 use polis_cfsm::{Cfsm, CfsmBuilder, CfsmError, Guard, Network, NetworkError, StateId, TestId};
 use polis_expr::{Expr, Type, Value};
 use std::collections::HashMap;
@@ -58,7 +59,7 @@ impl From<NetworkError> for ParseError {
 /// Returns [`ParseError`] on syntax errors and on CFSM validation
 /// failures (duplicate names, unknown references, ...).
 pub fn parse_module(src: &str) -> Result<Cfsm, ParseError> {
-    let mut machines = parse_all(src)?;
+    let (mut machines, _) = parse_source(src)?;
     if machines.len() != 1 {
         return Err(ParseError {
             line: 0,
@@ -71,22 +72,71 @@ pub fn parse_module(src: &str) -> Result<Cfsm, ParseError> {
 
 /// Parses a source containing one or more `module`s into a network.
 ///
+/// `properties` blocks are accepted, validated against the network, and
+/// discarded — synthesis consumers see the same network whether or not a
+/// suite is present. Use [`parse_spec`] to keep the properties.
+///
 /// # Errors
 ///
-/// Returns [`ParseError`] on syntax, CFSM, or network validation errors.
+/// Returns [`ParseError`] on syntax, CFSM, network, or property
+/// resolution errors.
 pub fn parse_network(name: &str, src: &str) -> Result<Network, ParseError> {
-    let machines = parse_all(src)?;
-    Ok(Network::new(name, machines)?)
+    Ok(parse_spec(name, src)?.network)
 }
 
-fn parse_all(src: &str) -> Result<Vec<Cfsm>, ParseError> {
+/// Parses a full specification: modules plus any `properties` blocks,
+/// with every property atom resolved against the elaborated network.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax, CFSM, or network validation errors,
+/// and spanned diagnostics for property atoms naming unknown modules,
+/// states, or inputs.
+pub fn parse_spec(name: &str, src: &str) -> Result<Spec, ParseError> {
+    let (machines, raw) = parse_source(src)?;
+    let network = Network::new(name, machines)?;
+    let properties = resolve_props(&network, raw)?;
+    Ok(Spec {
+        network,
+        properties,
+    })
+}
+
+/// Parses a source containing only `properties` blocks and resolves the
+/// atoms against an existing network — for attaching a suite to a
+/// programmatically built [`Network`] (workloads, benches).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors, on stray `module` blocks,
+/// and on unresolved atom names (spanned, naming the machine).
+pub fn parse_properties(net: &Network, src: &str) -> Result<Vec<Property>, ParseError> {
+    let (machines, raw) = parse_source(src)?;
+    if let Some(m) = machines.first() {
+        return Err(ParseError {
+            line: 0,
+            col: 0,
+            message: format!(
+                "expected only `properties` blocks, found module `{}`",
+                m.name()
+            ),
+        });
+    }
+    resolve_props(net, raw)
+}
+
+fn parse_source(src: &str) -> Result<(Vec<Cfsm>, Vec<RawProp>), ParseError> {
     let tokens = lex(src).map_err(|(line, col, message)| ParseError { line, col, message })?;
     let mut p = Parser { tokens, pos: 0 };
-    let mut out = Vec::new();
+    let mut machines = Vec::new();
+    let mut props = Vec::new();
     while p.peek() != &Tok::Eof {
-        out.push(p.module()?);
+        match p.peek() {
+            Tok::Properties => p.properties_block(&mut props)?,
+            _ => machines.push(p.module()?),
+        }
     }
-    Ok(out)
+    Ok((machines, props))
 }
 
 struct Parser {
@@ -522,6 +572,213 @@ impl Parser {
             other => Err(self.error(format!("expected an expression, found {other}"))),
         }
     }
+
+    /// `properties { (assert (never|reachable) <prop-expr> ;)* }`
+    fn properties_block(&mut self, out: &mut Vec<RawProp>) -> Result<(), ParseError> {
+        self.expect(Tok::Properties)?;
+        self.expect(Tok::LBrace)?;
+        while *self.peek() != Tok::RBrace {
+            let (line, col) = self.here();
+            self.expect(Tok::Assert)?;
+            let kind = match self.peek() {
+                Tok::Never => PropKind::Never,
+                Tok::Reachable => PropKind::Reachable,
+                other => {
+                    return Err(
+                        self.error(format!("expected `never` or `reachable`, found {other}"))
+                    )
+                }
+            };
+            self.bump();
+            let expr = self.prop_expr()?;
+            self.expect(Tok::Semi)?;
+            out.push(RawProp {
+                kind,
+                expr,
+                span: Span { line, col },
+            });
+        }
+        self.expect(Tok::RBrace)
+    }
+
+    /// prop-expr := prop-and (`||` prop-and)*
+    fn prop_expr(&mut self) -> Result<RawExpr, ParseError> {
+        let mut e = self.prop_and()?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            e = RawExpr::Or(Box::new(e), Box::new(self.prop_and()?));
+        }
+        Ok(e)
+    }
+
+    fn prop_and(&mut self) -> Result<RawExpr, ParseError> {
+        let mut e = self.prop_atom()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            e = RawExpr::And(Box::new(e), Box::new(self.prop_atom()?));
+        }
+        Ok(e)
+    }
+
+    /// prop-atom := `!` prop-atom | `(` prop-expr `)` | `true` | `false`
+    ///            | machine `@` state | machine `.` input
+    fn prop_atom(&mut self) -> Result<RawExpr, ParseError> {
+        match self.peek().clone() {
+            Tok::Bang => {
+                self.bump();
+                Ok(RawExpr::Not(Box::new(self.prop_atom()?)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.prop_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::True => {
+                self.bump();
+                Ok(RawExpr::True)
+            }
+            Tok::False => {
+                self.bump();
+                Ok(RawExpr::False)
+            }
+            Tok::Ident(machine) => {
+                let (line, col) = self.here();
+                let mspan = Span { line, col };
+                self.bump();
+                match self.peek().clone() {
+                    Tok::At => {
+                        self.bump();
+                        let (line, col) = self.here();
+                        let state = self.ident()?;
+                        Ok(RawExpr::AtState {
+                            machine,
+                            state,
+                            mspan,
+                            sspan: Span { line, col },
+                        })
+                    }
+                    Tok::Dot => {
+                        self.bump();
+                        let (line, col) = self.here();
+                        let signal = self.ident()?;
+                        Ok(RawExpr::Pending {
+                            machine,
+                            signal,
+                            mspan,
+                            sspan: Span { line, col },
+                        })
+                    }
+                    other => Err(self.error(format!(
+                        "expected `@state` or `.event` after `{machine}`, found {other}"
+                    ))),
+                }
+            }
+            other => Err(self.error(format!("expected a property atom, found {other}"))),
+        }
+    }
+}
+
+/// A property before name resolution: atoms carry source names and the
+/// spans diagnostics point at.
+struct RawProp {
+    kind: PropKind,
+    expr: RawExpr,
+    span: Span,
+}
+
+enum RawExpr {
+    True,
+    False,
+    AtState {
+        machine: String,
+        state: String,
+        mspan: Span,
+        sspan: Span,
+    },
+    Pending {
+        machine: String,
+        signal: String,
+        mspan: Span,
+        sspan: Span,
+    },
+    Not(Box<RawExpr>),
+    And(Box<RawExpr>, Box<RawExpr>),
+    Or(Box<RawExpr>, Box<RawExpr>),
+}
+
+fn resolve_props(net: &Network, raw: Vec<RawProp>) -> Result<Vec<Property>, ParseError> {
+    raw.into_iter()
+        .map(|p| {
+            Ok(Property {
+                kind: p.kind,
+                expr: resolve_expr(net, p.expr)?,
+                span: p.span,
+            })
+        })
+        .collect()
+}
+
+fn spanned(span: Span, message: String) -> ParseError {
+    ParseError {
+        line: span.line,
+        col: span.col,
+        message,
+    }
+}
+
+fn machine_index(net: &Network, name: &str, mspan: Span) -> Result<usize, ParseError> {
+    net.machine_index(name)
+        .ok_or_else(|| spanned(mspan, format!("unknown module `{name}` in property")))
+}
+
+fn resolve_expr(net: &Network, e: RawExpr) -> Result<PropExpr, ParseError> {
+    match e {
+        RawExpr::True => Ok(PropExpr::True),
+        RawExpr::False => Ok(PropExpr::False),
+        RawExpr::AtState {
+            machine,
+            state,
+            mspan,
+            sspan,
+        } => {
+            let mi = machine_index(net, &machine, mspan)?;
+            let m = &net.cfsms()[mi];
+            let si = m.states().iter().position(|s| *s == state).ok_or_else(|| {
+                spanned(sspan, format!("module `{machine}` has no state `{state}`"))
+            })?;
+            Ok(PropExpr::AtState {
+                machine: mi,
+                state: si,
+                span: sspan,
+            })
+        }
+        RawExpr::Pending {
+            machine,
+            signal,
+            mspan,
+            sspan,
+        } => {
+            let mi = machine_index(net, &machine, mspan)?;
+            let ki = net.cfsms()[mi].input_index(&signal).ok_or_else(|| {
+                spanned(sspan, format!("module `{machine}` has no input `{signal}`"))
+            })?;
+            Ok(PropExpr::Pending {
+                machine: mi,
+                input: ki,
+                span: sspan,
+            })
+        }
+        RawExpr::Not(x) => Ok(PropExpr::Not(Box::new(resolve_expr(net, *x)?))),
+        RawExpr::And(a, b) => Ok(PropExpr::And(
+            Box::new(resolve_expr(net, *a)?),
+            Box::new(resolve_expr(net, *b)?),
+        )),
+        RawExpr::Or(a, b) => Ok(PropExpr::Or(
+            Box::new(resolve_expr(net, *a)?),
+            Box::new(resolve_expr(net, *b)?),
+        )),
+    }
 }
 
 enum ParsedAction {
@@ -698,6 +955,149 @@ mod tests {
         "#;
         let m = parse_module(src).unwrap();
         assert_eq!(m.state_vars()[0].init, Value::Int(-3));
+    }
+
+    const PAIR_WITH_PROPS: &str = r#"
+        module pinger {
+            input go;
+            output ping;
+            state idle, firing;
+            from idle to firing when go do { emit ping; }
+            from firing to idle when go;
+        }
+        module ponger {
+            input ping;
+            output pong;
+            state s;
+            from s to s when ping do { emit pong; }
+        }
+        properties {
+            assert never pinger@firing && ponger.ping;
+            assert reachable pinger@firing;
+            assert reachable !(pinger@idle || ponger.ping) && true;
+        }
+    "#;
+
+    #[test]
+    fn spec_with_properties_parses_and_resolves() {
+        use crate::prop::{PropExpr, PropKind};
+        let spec = parse_spec("pair", PAIR_WITH_PROPS).unwrap();
+        assert_eq!(spec.network.cfsms().len(), 2);
+        assert_eq!(spec.properties.len(), 3);
+        assert_eq!(spec.properties[0].kind, PropKind::Never);
+        assert_eq!(spec.properties[1].kind, PropKind::Reachable);
+        let PropExpr::And(a, b) = &spec.properties[0].expr else {
+            panic!("expected a conjunction, got {:?}", spec.properties[0].expr);
+        };
+        assert!(
+            matches!(
+                **a,
+                PropExpr::AtState {
+                    machine: 0,
+                    state: 1,
+                    ..
+                }
+            ),
+            "{a:?}"
+        );
+        assert!(
+            matches!(
+                **b,
+                PropExpr::Pending {
+                    machine: 1,
+                    input: 0,
+                    ..
+                }
+            ),
+            "{b:?}"
+        );
+        // `parse_network` accepts the same source and discards the suite.
+        let net = parse_network("pair", PAIR_WITH_PROPS).unwrap();
+        assert_eq!(net.cfsms().len(), 2);
+    }
+
+    #[test]
+    fn property_eval_and_render_roundtrip() {
+        let spec = parse_spec("pair", PAIR_WITH_PROPS).unwrap();
+        let net = &spec.network;
+        // pinger@firing && ponger.ping
+        let e = &spec.properties[0].expr;
+        assert!(e.eval(&[1, 0], &[vec![false], vec![true]]));
+        assert!(!e.eval(&[0, 0], &[vec![false], vec![true]]));
+        assert!(!e.eval(&[1, 0], &[vec![true], vec![false]]));
+        assert_eq!(
+            spec.properties[0].render(net),
+            "assert never (pinger@firing && ponger.ping)"
+        );
+        // The rendered suite re-parses to the same resolved properties
+        // (spans differ between the two sources, so compare renders).
+        let suite = crate::prop::emit_properties_source(net, &spec.properties);
+        let reparsed = parse_properties(net, &suite).unwrap();
+        assert_eq!(reparsed.len(), spec.properties.len());
+        for (a, b) in reparsed.iter().zip(&spec.properties) {
+            assert_eq!(a.render(net), b.render(net));
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn property_unknown_module_is_spanned() {
+        let src = "module m { input a; state s; }\nproperties {\n    assert never ghost@s;\n}";
+        let err = parse_spec("n", src).unwrap_err();
+        assert_eq!((err.line, err.col), (3, 18));
+        assert!(err.message.contains("unknown module `ghost`"), "{err}");
+    }
+
+    #[test]
+    fn property_unknown_state_names_the_machine() {
+        let src =
+            "module m { input a; state s; }\nproperties {\n    assert reachable m@launched;\n}";
+        let err = parse_spec("n", src).unwrap_err();
+        assert_eq!((err.line, err.col), (3, 24));
+        assert!(
+            err.message.contains("module `m` has no state `launched`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn property_unknown_input_names_the_machine() {
+        let src = "module m { input a; state s; }\nproperties {\n    assert never m.bogus;\n}";
+        let err = parse_spec("n", src).unwrap_err();
+        assert_eq!((err.line, err.col), (3, 20));
+        assert!(
+            err.message.contains("module `m` has no input `bogus`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn property_syntax_errors_are_positioned() {
+        let err = parse_spec(
+            "n",
+            "module m { input a; state s; }\nproperties { assert always m@s; }",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("`never` or `reachable`"), "{err}");
+        let err = parse_spec(
+            "n",
+            "module m { input a; state s; }\nproperties { assert never m; }",
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("expected `@state` or `.event`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parse_properties_rejects_modules() {
+        let net = parse_network("n", "module m { input a; state s; }").unwrap();
+        let err = parse_properties(&net, "module k { state s; }").unwrap_err();
+        assert!(err.message.contains("found module `k`"), "{err}");
+        let props = parse_properties(&net, "properties { assert reachable m.a; }").unwrap();
+        assert_eq!(props.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Typed ASTs for user-specified safety/reachability properties.
+//!
+//! A specification may end with one or more `properties` blocks:
+//!
+//! ```text
+//! properties {
+//!     assert never   belt_control@alarm && belt_control.belt_on;
+//!     assert reachable belt_control@alarm;
+//! }
+//! ```
+//!
+//! Atoms range over the verifier's product-state variables: `m@s` holds
+//! when machine `m` is in control state `s`, and `m.sig` holds when the
+//! event `sig` is pending in `m`'s one-place input buffer (the buffer's
+//! fill bit — event presence and buffer content coincide in the
+//! single-place lossy-buffer semantics of Section II-D). Atoms compose
+//! with `!`, `&&`, `||`, and parentheses.
+//!
+//! The parser resolves every name against the elaborated
+//! [`polis_cfsm::Network`] and stores machine/state/input *indices* plus
+//! the original source [`Span`] of each atom, so downstream layers (the
+//! symbolic checker, diagnostics) never re-resolve strings.
+
+use polis_cfsm::Network;
+use std::fmt::Write as _;
+
+/// A 1-based source position attached to every atom and property, for
+/// diagnostics ("3:14: module `m` has no state `s`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// What a property asserts about the reachable set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropKind {
+    /// `assert never e`: no reachable state satisfies `e`.
+    Never,
+    /// `assert reachable e`: some reachable state satisfies `e`.
+    Reachable,
+}
+
+/// A resolved boolean formula over product-state atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropExpr {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Machine `machine` is in control state `state` (`m@s`).
+    AtState {
+        /// Network machine index.
+        machine: usize,
+        /// State index within the machine.
+        state: usize,
+        /// Source position of the atom.
+        span: Span,
+    },
+    /// Event `input` is pending in `machine`'s buffer (`m.sig`).
+    Pending {
+        /// Network machine index.
+        machine: usize,
+        /// Input-signal index within the machine.
+        input: usize,
+        /// Source position of the atom.
+        span: Span,
+    },
+    /// Negation.
+    Not(Box<PropExpr>),
+    /// Conjunction.
+    And(Box<PropExpr>, Box<PropExpr>),
+    /// Disjunction.
+    Or(Box<PropExpr>, Box<PropExpr>),
+}
+
+impl PropExpr {
+    /// Evaluates the formula against an explicit product state: `ctrl[i]`
+    /// is machine `i`'s control-state index and `pending[i][k]` the fill
+    /// bit of its `k`-th input buffer. This is the concrete mirror of the
+    /// symbolic compilation in `polis-verify` and the oracle the
+    /// trace-replay conformance tests evaluate final states with.
+    pub fn eval(&self, ctrl: &[usize], pending: &[Vec<bool>]) -> bool {
+        match self {
+            PropExpr::True => true,
+            PropExpr::False => false,
+            PropExpr::AtState { machine, state, .. } => ctrl[*machine] == *state,
+            PropExpr::Pending { machine, input, .. } => pending[*machine][*input],
+            PropExpr::Not(e) => !e.eval(ctrl, pending),
+            PropExpr::And(a, b) => a.eval(ctrl, pending) && b.eval(ctrl, pending),
+            PropExpr::Or(a, b) => a.eval(ctrl, pending) || b.eval(ctrl, pending),
+        }
+    }
+
+    /// Renders the formula back in source syntax (names looked up in
+    /// `net`); the printer's inverse of the property parser.
+    pub fn render(&self, net: &Network) -> String {
+        match self {
+            PropExpr::True => "true".to_owned(),
+            PropExpr::False => "false".to_owned(),
+            PropExpr::AtState { machine, state, .. } => {
+                let m = &net.cfsms()[*machine];
+                format!("{}@{}", m.name(), m.states()[*state])
+            }
+            PropExpr::Pending { machine, input, .. } => {
+                let m = &net.cfsms()[*machine];
+                format!("{}.{}", m.name(), m.inputs()[*input].name())
+            }
+            PropExpr::Not(e) => format!("!{}", e.render_atom(net)),
+            PropExpr::And(a, b) => format!("({} && {})", a.render(net), b.render(net)),
+            PropExpr::Or(a, b) => format!("({} || {})", a.render(net), b.render(net)),
+        }
+    }
+
+    fn render_atom(&self, net: &Network) -> String {
+        match self {
+            PropExpr::And(..) | PropExpr::Or(..) => format!("({})", self.render(net)),
+            _ => self.render(net),
+        }
+    }
+}
+
+/// One `assert` line of a `properties` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Property {
+    /// `never` or `reachable`.
+    pub kind: PropKind,
+    /// The resolved formula.
+    pub expr: PropExpr,
+    /// Source position of the `assert` keyword.
+    pub span: Span,
+}
+
+impl Property {
+    /// `assert never <expr>` / `assert reachable <expr>` in source
+    /// syntax, without the trailing semicolon.
+    pub fn render(&self, net: &Network) -> String {
+        let kind = match self.kind {
+            PropKind::Never => "never",
+            PropKind::Reachable => "reachable",
+        };
+        format!("assert {} {}", kind, self.expr.render(net))
+    }
+}
+
+/// A parsed specification: the machine network plus its property suite
+/// (empty when the source has no `properties` block).
+#[derive(Debug)]
+pub struct Spec {
+    /// The elaborated machine network.
+    pub network: Network,
+    /// The resolved properties, in source order.
+    pub properties: Vec<Property>,
+}
+
+/// Renders a property suite as a `properties { ... }` block, or the
+/// empty string for an empty suite.
+pub fn emit_properties_source(net: &Network, props: &[Property]) -> String {
+    if props.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("properties {\n");
+    for p in props {
+        let _ = writeln!(out, "    {};", p.render(net));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole specification: every module, then the property block.
+pub fn emit_spec_source(net: &Network, props: &[Property]) -> String {
+    let mut out = crate::emit_network_source(net);
+    if !props.is_empty() {
+        out.push('\n');
+        out.push_str(&emit_properties_source(net, props));
+    }
+    out
+}

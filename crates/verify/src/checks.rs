@@ -2,6 +2,7 @@
 //! reachability-invariant export that feeds `estimate::falsepath`.
 
 use crate::model::NetworkModel;
+use crate::trace::{decode_point, walk_trace, DecodedState, TraceRings};
 use crate::{DeadTransition, DeadlockWitness, LostEvent};
 use polis_bdd::{NodeRef, Var};
 use polis_cfsm::Network;
@@ -82,6 +83,7 @@ pub(crate) fn deadlock(
     model: &mut NetworkModel,
     net: &Network,
     reached: NodeRef,
+    rings: Option<&TraceRings>,
 ) -> Option<DeadlockWitness> {
     let all_flags: Vec<Var> = model
         .vars
@@ -112,29 +114,43 @@ pub(crate) fn deadlock(
     let stuck = model.bdd.not(can_ever_fire);
     let mut dead = model.bdd.and(reached, pending);
     dead = model.bdd.and(dead, stuck);
-    let cube = model.bdd.pick_cube(dead)?;
-    let assign = |v: Var| cube.iter().any(|&(cv, val)| cv == v && val);
-    let cfsms = net.cfsms();
-    let mut description = Vec::new();
-    for (i, m) in cfsms.iter().enumerate() {
-        let state = match &model.vars[i].ctrl_cur {
-            Some(mv) => mv.decode(assign) as usize,
-            None => 0,
-        };
-        let pending: Vec<&str> = m
-            .inputs()
-            .iter()
-            .enumerate()
-            .filter(|&(k, _)| assign(model.vars[i].flag_cur[k]))
-            .map(|(_, s)| s.name())
-            .collect();
-        let mut line = format!("{}@{}", m.name(), m.states()[state]);
-        if !pending.is_empty() {
-            line.push_str(&format!(" pending[{}]", pending.join(",")));
-        }
-        description.push(line);
+    if dead.is_false() {
+        return None;
     }
-    Some(DeadlockWitness { description })
+    // Shared witness path with the property checker: walk a full decoded
+    // trace through the onion rings when they were stored, otherwise
+    // fall back to the single decoded cube state.
+    let trace = rings.and_then(|r| walk_trace(model, net, r, dead));
+    let witness = match &trace {
+        Some(t) => t.states.last().cloned()?,
+        None => decode_point(model, dead)?,
+    };
+    Some(DeadlockWitness {
+        description: describe_state(net, &witness),
+        trace,
+    })
+}
+
+/// One `machine@state pending[signals...]` line per machine.
+fn describe_state(net: &Network, s: &DecodedState) -> Vec<String> {
+    net.cfsms()
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let pending: Vec<&str> = m
+                .inputs()
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| s.pending[i][k])
+                .map(|(_, sig)| sig.name())
+                .collect();
+            let mut line = format!("{}@{}", m.name(), m.states()[s.ctrl[i]]);
+            if !pending.is_empty() {
+                line.push_str(&format!(" pending[{}]", pending.join(",")));
+            }
+            line
+        })
+        .collect()
 }
 
 /// Projects the reachable set onto machine `i`'s own state variables and

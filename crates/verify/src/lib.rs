@@ -55,15 +55,22 @@
 
 mod checks;
 mod model;
+mod prop;
 mod reach;
+mod trace;
+
+pub use prop::{PropReport, PropResult};
+pub use trace::{CexTrace, DecodedState, TraceStep};
 
 use model::NetworkModel;
 use polis_bdd::NodeRef;
 use polis_cfsm::Network;
 use polis_estimate::Incompat;
+use polis_lang::Property;
 use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
+use trace::TraceRings;
 
 /// Traversal configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +85,16 @@ pub struct VerifyOptions {
     /// Reordering changes only node counts and wall time, never verdicts
     /// or reached-state counts. `usize::MAX` disables it.
     pub reorder_threshold: usize,
+    /// Store the frontier onion rings during the fixpoint so property
+    /// violations and deadlocks get full decoded counterexample traces
+    /// instead of witness cubes. Off by default: rings cost extra live
+    /// nodes and are useless without a trace consumer. Ring storage
+    /// never changes reached sets, iteration counts, or verdicts.
+    pub trace_rings: bool,
+    /// Upper bound on stored rings; past it the prefix stays valid but
+    /// deeper states degrade to cube-only witnesses. Rings are also the
+    /// first thing shed under node-budget pressure.
+    pub max_trace_rings: usize,
 }
 
 impl Default for VerifyOptions {
@@ -85,6 +102,8 @@ impl Default for VerifyOptions {
         VerifyOptions {
             node_budget: 1 << 22,
             reorder_threshold: 1 << 20,
+            trace_rings: false,
+            max_trace_rings: 1 << 12,
         }
     }
 }
@@ -191,6 +210,10 @@ pub struct DeadTransition {
 pub struct DeadlockWitness {
     /// `machine@state pending[signals...]` per machine.
     pub description: Vec<String>,
+    /// Decoded execution from the reset state into the deadlock, when
+    /// [`VerifyOptions::trace_rings`] stored the onion rings (shared
+    /// code path with the property checker's counterexamples).
+    pub trace: Option<CexTrace>,
 }
 
 /// Everything one verification run produces.
@@ -292,6 +315,7 @@ pub struct Verifier<'n> {
     net: &'n Network,
     model: NetworkModel,
     reached: NodeRef,
+    rings: Option<TraceRings>,
     stats: VerifyStats,
 }
 
@@ -307,12 +331,13 @@ impl<'n> Verifier<'n> {
         let start = Instant::now();
         let mut model = NetworkModel::build(net);
         let mut stats = VerifyStats::default();
-        let reached = reach::fixpoint(&mut model, opts, &mut stats)?;
+        let (reached, rings) = reach::fixpoint(&mut model, opts, &mut stats)?;
         stats.wall = start.elapsed();
         Ok(Verifier {
             net,
             model,
             reached,
+            rings,
             stats,
         })
     }
@@ -326,7 +351,8 @@ impl<'n> Verifier<'n> {
     pub fn report(&mut self) -> VerifyReport {
         let lost = checks::lost_events(&mut self.model, self.net, self.reached);
         let dead = checks::dead_transitions(&mut self.model, self.net, self.reached);
-        let deadlock = checks::deadlock(&mut self.model, self.net, self.reached);
+        let deadlock =
+            checks::deadlock(&mut self.model, self.net, self.reached, self.rings.as_ref());
         VerifyReport {
             network: self.net.name().to_owned(),
             machines: self.net.cfsms().len(),
@@ -336,6 +362,20 @@ impl<'n> Verifier<'n> {
             dead_transitions: dead,
             deadlock,
         }
+    }
+
+    /// Checks a property suite against the reachable set, decoding
+    /// counterexample/witness traces through the stored onion rings
+    /// (cube-only witnesses when [`VerifyOptions::trace_rings`] was off
+    /// or the rings were shed under budget pressure).
+    pub fn check_properties(&mut self, props: &[Property]) -> PropReport {
+        prop::check(
+            &mut self.model,
+            self.net,
+            self.reached,
+            self.rings.as_ref(),
+            props,
+        )
     }
 
     /// Event-level incompatibilities for `machine`: input-presence
@@ -354,6 +394,28 @@ impl<'n> Verifier<'n> {
 /// Propagates [`Verifier::run`] failures.
 pub fn verify_network(net: &Network, opts: &VerifyOptions) -> Result<VerifyReport, VerifyError> {
     Ok(Verifier::run(net, opts)?.report())
+}
+
+/// One-shot property checking: [`Verifier::run`] (with ring storage
+/// forced on so violations get decoded traces), the standard report,
+/// and the property verdicts.
+///
+/// # Errors
+///
+/// Propagates [`Verifier::run`] failures.
+pub fn verify_with_props(
+    net: &Network,
+    props: &[Property],
+    opts: &VerifyOptions,
+) -> Result<(VerifyReport, PropReport), VerifyError> {
+    let opts = VerifyOptions {
+        trace_rings: true,
+        ..*opts
+    };
+    let mut v = Verifier::run(net, &opts)?;
+    let report = v.report();
+    let props = v.check_properties(props);
+    Ok((report, props))
 }
 
 #[cfg(test)]
@@ -632,6 +694,177 @@ mod tests {
             // the node structure, so it may legally differ after a sift.
             assert_eq!(forced.deadlock.is_some(), baseline.deadlock.is_some());
         }
+    }
+
+    fn oneshot() -> Network {
+        let mut b = Cfsm::builder("oneshot");
+        b.input_pure("x");
+        b.output_pure("done");
+        let s0 = b.ctrl_state("armed");
+        let s1 = b.ctrl_state("spent");
+        b.transition(s0, s1).when_present("x").emit("done").done();
+        Network::new("oneshot", vec![b.build().unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn deadlock_trace_replays_to_the_witness() {
+        let net = oneshot();
+        let opts = VerifyOptions {
+            trace_rings: true,
+            ..VerifyOptions::default()
+        };
+        let report = verify_network(&net, &opts).unwrap();
+        let w = report.deadlock.expect("redelivered `x` is stuck forever");
+        assert_eq!(w.description, vec!["oneshot@spent pending[x]".to_owned()]);
+        let t = w.trace.expect("rings stored => decoded trace");
+        // deliver x, fire armed->spent (clears x), deliver x again: the
+        // shortest path into the deadlock has three hops.
+        assert_eq!(t.len(), 3);
+        let end = t.replay(&net).expect("trace must replay cleanly");
+        assert_eq!(end.ctrl, vec![1]);
+        assert_eq!(end.pending, vec![vec![true]]);
+        assert!(t.render(&net).contains("deliver x"));
+        assert!(t.render(&net).contains("react oneshot #0 (armed -> spent)"));
+    }
+
+    #[test]
+    fn ring_cap_degrades_to_cube_witness() {
+        let net = oneshot();
+        let opts = VerifyOptions {
+            trace_rings: true,
+            max_trace_rings: 1,
+            ..VerifyOptions::default()
+        };
+        let report = verify_network(&net, &opts).unwrap();
+        let w = report.deadlock.expect("verdict unaffected by the ring cap");
+        assert!(w.trace.is_none(), "deadlock lies beyond the stored prefix");
+        assert_eq!(w.description, vec!["oneshot@spent pending[x]".to_owned()]);
+    }
+
+    #[test]
+    fn ring_storage_changes_no_verdict_or_count() {
+        for net in [toggler_pair(), token_ring(), oneshot()] {
+            let base = verify_network(&net, &VerifyOptions::default()).unwrap();
+            let ringed = verify_network(
+                &net,
+                &VerifyOptions {
+                    trace_rings: true,
+                    ..VerifyOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(ringed.stats.reached_states, base.stats.reached_states);
+            assert_eq!(ringed.stats.iterations, base.stats.iterations);
+            assert_eq!(ringed.stats.image_steps, base.stats.image_steps);
+            assert_eq!(ringed.lost_events, base.lost_events);
+            assert_eq!(ringed.dead_transitions, base.dead_transitions);
+            assert_eq!(
+                ringed.deadlock.as_ref().map(|w| &w.description),
+                base.deadlock.as_ref().map(|w| &w.description)
+            );
+        }
+    }
+
+    #[test]
+    fn budget_pressure_sheds_rings_before_aborting() {
+        let net = token_ring();
+        let base = verify_network(&net, &VerifyOptions::default()).unwrap();
+        let peak = base.stats.peak_live_nodes as usize;
+        let mut completed = 0;
+        for budget in [peak / 2, peak * 2 / 3, peak * 3 / 4, peak] {
+            let Ok(mut v) = Verifier::run(
+                &net,
+                &VerifyOptions {
+                    node_budget: budget,
+                    trace_rings: true,
+                    ..VerifyOptions::default()
+                },
+            ) else {
+                continue;
+            };
+            completed += 1;
+            let r = v.report();
+            assert_eq!(r.stats.reached_states, base.stats.reached_states);
+            assert_eq!(r.lost_events, base.lost_events);
+            assert_eq!(r.dead_transitions, base.dead_transitions);
+        }
+        assert!(
+            completed > 0,
+            "no ring-storing constrained run completed (peak {peak})"
+        );
+    }
+
+    #[test]
+    fn properties_verdicts_and_traces() {
+        let src = "
+            module toggler {
+                input tick; output tock; state off, on;
+                from off to on when tick do { emit tock; }
+                from on to off when tick do { emit tock; }
+            }
+            module sink {
+                input tock; output seen; state s;
+                from s to s when tock do { emit seen; }
+            }
+            properties {
+                assert reachable toggler@on && sink.tock;
+                assert never toggler@on && toggler@off;
+                assert never sink.tock;
+            }";
+        let spec = polis_lang::parse_spec("pair", src).unwrap();
+        let (_report, pr) =
+            verify_with_props(&spec.network, &spec.properties, &VerifyOptions::default()).unwrap();
+        assert_eq!(pr.checked, 3);
+        assert_eq!(pr.violations, 1);
+        assert!(pr.rings_complete);
+        assert!(pr.rings_stored > 1);
+
+        // Satisfied `reachable`: witness trace replays into the target.
+        let r0 = &pr.results[0];
+        assert!(r0.holds);
+        let t = r0.trace.as_ref().expect("witness trace");
+        let end = t.replay(&spec.network).unwrap();
+        assert!(spec.properties[0].expr.eval(&end.ctrl, &end.pending));
+
+        // Control-state exclusivity holds vacuously: no satisfying state.
+        let r1 = &pr.results[1];
+        assert!(r1.holds && r1.trace.is_none() && r1.witness_state.is_none());
+
+        // Violated `never`: counterexample trace replays into violation.
+        let r2 = &pr.results[2];
+        assert!(!r2.holds);
+        let t = r2.trace.as_ref().expect("counterexample trace");
+        let end = t.replay(&spec.network).unwrap();
+        assert!(spec.properties[2].expr.eval(&end.ctrl, &end.pending));
+        assert_eq!(r2.witness_state.as_ref(), t.states.last());
+
+        let rendered = pr.render(&spec.network);
+        assert!(rendered.contains("properties: 3 checked, 1 violated"));
+        assert!(rendered.contains("assert never sink.tock: VIOLATED"));
+        assert!(rendered.contains("counterexample ("));
+        assert!(rendered.contains("witness ("));
+    }
+
+    #[test]
+    fn properties_without_rings_fall_back_to_cube_witnesses() {
+        let src = "
+            module m { input a; output b; state s0, s1;
+                from s0 to s1 when a do { emit b; } }
+            properties { assert never m@s1; }";
+        let spec = polis_lang::parse_spec("n", src).unwrap();
+        // Plain run (no ring storage), then check directly.
+        let mut v = Verifier::run(&spec.network, &VerifyOptions::default()).unwrap();
+        let pr = v.check_properties(&spec.properties);
+        assert_eq!(pr.rings_stored, 0);
+        assert!(!pr.rings_complete);
+        let r = &pr.results[0];
+        assert!(!r.holds);
+        assert!(r.trace.is_none(), "no rings => no decoded trace");
+        let w = r
+            .witness_state
+            .as_ref()
+            .expect("cube-only witness survives");
+        assert_eq!(w.ctrl, vec![1]);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! User-specified property checking against the reachable set.
+//!
+//! Each [`Property`] from a specification's `properties` block compiles
+//! to a BDD over the model's current-state rail — control-state atoms
+//! through the machine's [`MvVar`](polis_bdd::encode::MvVar) encoding,
+//! event-presence atoms to the buffer fill bit — and is intersected with
+//! the reached set:
+//!
+//! * `assert never e` **holds** iff `Reached ∧ ⟦e⟧ = ∅`; a violation
+//!   carries a decoded counterexample trace to a state satisfying `e`;
+//! * `assert reachable e` **holds** iff `Reached ∧ ⟦e⟧ ≠ ∅`; the verdict
+//!   carries a decoded witness trace to such a state.
+//!
+//! Traces come from the onion-ring preimage walker ([`crate::trace`]);
+//! when the rings were capped or dropped under budget pressure the
+//! checker degrades gracefully to a cube-only witness (one decoded
+//! state, no path). Because data tests are free variables, the reached
+//! set over-approximates concrete executions: `never` violations are
+//! sound alarms and `reachable` verdicts sound possibilities, the same
+//! contract as the built-in checks.
+
+use crate::model::NetworkModel;
+use crate::trace::{decode_point, walk_trace, CexTrace, DecodedState, TraceRings};
+use polis_bdd::NodeRef;
+use polis_cfsm::Network;
+use polis_lang::{PropExpr, PropKind, Property};
+use std::time::{Duration, Instant};
+
+/// Verdict for one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropResult {
+    /// The property, as resolved by the parser.
+    pub property: Property,
+    /// Whether the assertion holds over the reachable set.
+    pub holds: bool,
+    /// A decoded execution to a state satisfying the property's
+    /// expression: the counterexample for a violated `never`, the
+    /// witness for a satisfied `reachable`. `None` when no such state
+    /// exists — or when ring storage was off/degraded (see
+    /// `witness_state`).
+    pub trace: Option<CexTrace>,
+    /// The decoded satisfying state alone — always present when one
+    /// exists, even without rings (the cube-only degradation).
+    pub witness_state: Option<DecodedState>,
+}
+
+impl PropResult {
+    /// `holds` / `VIOLATED` — the gate word for this result.
+    pub fn verdict(&self) -> &'static str {
+        if self.holds {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
+    }
+}
+
+/// Everything one property-checking pass produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropReport {
+    /// Per-property verdicts, in suite order.
+    pub results: Vec<PropResult>,
+    /// Properties checked.
+    pub checked: u64,
+    /// Violated assertions.
+    pub violations: u64,
+    /// Longest decoded trace (steps).
+    pub max_trace_len: u64,
+    /// Total preimage BDD nodes across all trace walks.
+    pub preimage_nodes: u64,
+    /// Onion rings available to the walker.
+    pub rings_stored: u64,
+    /// Whether the ring set covered the whole fixpoint.
+    pub rings_complete: bool,
+    /// Wall-clock time of compilation, checking, and trace decoding.
+    pub wall: Duration,
+}
+
+impl PropReport {
+    /// Human-readable block (the `polis verify --props` / `polis prop`
+    /// output): one verdict line per property, trace lines indented.
+    pub fn render(&self, net: &Network) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "properties: {} checked, {} violated\n",
+            self.checked, self.violations
+        ));
+        for r in &self.results {
+            out.push_str(&format!("{}: {}\n", r.property.render(net), r.verdict()));
+            match (&r.trace, &r.witness_state) {
+                (Some(t), _) => {
+                    let role = match r.property.kind {
+                        PropKind::Never => "counterexample",
+                        PropKind::Reachable => "witness",
+                    };
+                    out.push_str(&format!("  {} ({} steps):\n", role, t.len()));
+                    for line in t.render(net).lines() {
+                        out.push_str(&format!("  {line}\n"));
+                    }
+                }
+                (None, Some(s)) => {
+                    out.push_str(&format!("  witness state (no trace): {}\n", s.render(net)));
+                }
+                (None, None) => {}
+            }
+        }
+        out
+    }
+}
+
+/// Compiles a resolved property expression onto the model's
+/// current-state rail. Single-state machines have no control variables,
+/// so their only state atom is constantly true.
+pub(crate) fn compile_expr(model: &mut NetworkModel, e: &PropExpr) -> NodeRef {
+    match e {
+        PropExpr::True => NodeRef::TRUE,
+        PropExpr::False => NodeRef::FALSE,
+        PropExpr::AtState { machine, state, .. } => match &model.vars[*machine].ctrl_cur {
+            Some(mv) => mv.eq_const(&mut model.bdd, *state as u64),
+            None => NodeRef::TRUE,
+        },
+        PropExpr::Pending { machine, input, .. } => {
+            let f = model.vars[*machine].flag_cur[*input];
+            model.bdd.var(f)
+        }
+        PropExpr::Not(x) => {
+            let fx = compile_expr(model, x);
+            model.bdd.not(fx)
+        }
+        PropExpr::And(a, b) => {
+            let fa = compile_expr(model, a);
+            let fb = compile_expr(model, b);
+            model.bdd.and(fa, fb)
+        }
+        PropExpr::Or(a, b) => {
+            let fa = compile_expr(model, a);
+            let fb = compile_expr(model, b);
+            model.bdd.or(fa, fb)
+        }
+    }
+}
+
+/// Checks `props` against `reached`, decoding traces through `rings`
+/// when available.
+pub(crate) fn check(
+    model: &mut NetworkModel,
+    net: &Network,
+    reached: NodeRef,
+    rings: Option<&TraceRings>,
+    props: &[Property],
+) -> PropReport {
+    let start = Instant::now();
+    let mut results = Vec::with_capacity(props.len());
+    let mut violations = 0u64;
+    let mut max_trace_len = 0u64;
+    let mut preimage_nodes = 0u64;
+    for p in props {
+        let set = compile_expr(model, &p.expr);
+        let hit = model.bdd.and(reached, set);
+        let holds = match p.kind {
+            PropKind::Never => hit.is_false(),
+            PropKind::Reachable => !hit.is_false(),
+        };
+        if !holds {
+            violations += 1;
+        }
+        // A satisfying state exists exactly when `hit` is non-empty;
+        // that is the interesting direction for both kinds.
+        let (trace, witness_state) = if hit.is_false() {
+            (None, None)
+        } else {
+            let trace = rings.and_then(|r| walk_trace(model, net, r, hit));
+            match trace {
+                Some(t) => {
+                    max_trace_len = max_trace_len.max(t.len() as u64);
+                    preimage_nodes += t.preimage_nodes;
+                    let last = t.states.last().cloned();
+                    (Some(t), last)
+                }
+                None => (None, decode_point(model, hit)),
+            }
+        };
+        results.push(PropResult {
+            property: p.clone(),
+            holds,
+            trace,
+            witness_state,
+        });
+    }
+    PropReport {
+        checked: props.len() as u64,
+        violations,
+        max_trace_len,
+        preimage_nodes,
+        rings_stored: rings.map_or(0, |r| r.rings.len() as u64),
+        rings_complete: rings.is_some_and(|r| r.complete),
+        results,
+        wall: start.elapsed(),
+    }
+}

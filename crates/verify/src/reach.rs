@@ -28,6 +28,7 @@
 //! [`VerifyError::NodeBudgetExceeded`] instead of growing without bound.
 
 use crate::model::{EnvStep, NetworkModel, ReactStep};
+use crate::trace::TraceRings;
 use crate::{VerifyError, VerifyOptions, VerifyStats};
 use polis_bdd::{Bdd, NodeRef};
 
@@ -72,6 +73,10 @@ const GC_REGROW: usize = 4;
 /// majority is collected immediately instead of lingering until the
 /// budget (or the reorder threshold) is hit. Collection never changes any
 /// function a handle denotes, so reached sets and verdicts are untouched.
+///
+/// `rings` are the stored trace onion (shed first when the live set alone
+/// busts the budget — traces degrade before the traversal aborts).
+#[allow(clippy::too_many_arguments)] // three distinct root classes + the sheddable rings
 fn enforce_budget(
     bdd: &mut Bdd,
     opts: &VerifyOptions,
@@ -80,6 +85,7 @@ fn enforce_budget(
     persistent: &[NodeRef],
     live: &[NodeRef],
     working: &[NodeRef],
+    rings: &mut Option<TraceRings>,
 ) -> Result<(), VerifyError> {
     let allocated = bdd.allocated_nodes();
     if allocated <= *gc_trigger && allocated <= opts.node_budget {
@@ -88,9 +94,24 @@ fn enforce_budget(
     let mut roots = persistent.to_vec();
     roots.extend_from_slice(live);
     roots.extend_from_slice(working);
+    if let Some(r) = rings {
+        roots.extend_from_slice(r.roots());
+    }
     bdd.gc(&roots);
     stats.mid_reach_collections += 1;
-    let live_now = bdd.allocated_nodes();
+    let mut live_now = bdd.allocated_nodes();
+    if live_now > opts.node_budget && rings.is_some() {
+        // Graceful degradation: the onion rings are diagnostic-only
+        // state, so shed them (later property checks fall back to
+        // cube-only witnesses) before giving up on the traversal.
+        *rings = None;
+        let mut roots = persistent.to_vec();
+        roots.extend_from_slice(live);
+        roots.extend_from_slice(working);
+        bdd.gc(&roots);
+        stats.mid_reach_collections += 1;
+        live_now = bdd.allocated_nodes();
+    }
     if live_now > opts.node_budget {
         return Err(VerifyError::NodeBudgetExceeded {
             budget: opts.node_budget,
@@ -103,12 +124,16 @@ fn enforce_budget(
 }
 
 /// Runs the traversal to a fixpoint, filling `stats`, and returns the
-/// reachable set over the model's current-state variables.
+/// reachable set over the model's current-state variables plus — when
+/// [`VerifyOptions::trace_rings`] is on — the frontier onion rings the
+/// trace walker consumes. Ring storage never changes the reached sets,
+/// iteration counts, or verdicts: rings are the `raw` new-state sets the
+/// loop computes anyway, merely kept as extra GC/sift roots.
 pub(crate) fn fixpoint(
     model: &mut NetworkModel,
     opts: &VerifyOptions,
     stats: &mut VerifyStats,
-) -> Result<NodeRef, VerifyError> {
+) -> Result<(NodeRef, Option<TraceRings>), VerifyError> {
     // The partitioned relation never changes during traversal; snapshot
     // its roots once so every reclamation keeps the step BDDs alive.
     let persistent = model.persistent_roots();
@@ -116,6 +141,10 @@ pub(crate) fn fixpoint(
     let base = model.bdd.stats();
     let mut reached = model.init;
     let mut frontier = model.init;
+    let mut rings = opts.trace_rings.then(|| TraceRings {
+        rings: vec![model.init],
+        complete: true,
+    });
     // Re-armed after every sift: the next reorder fires only once the
     // arena doubles past the post-sift level, so a traversal that simply
     // *stays* large after one reorder does not sift again on every
@@ -138,6 +167,7 @@ pub(crate) fn fixpoint(
                 &persistent,
                 &[reached, frontier],
                 &imgs,
+                &mut rings,
             )?;
         }
         for step in &model.react_steps {
@@ -152,6 +182,7 @@ pub(crate) fn fixpoint(
                 &persistent,
                 &[reached, frontier],
                 &imgs,
+                &mut rings,
             )?;
         }
         // Balanced union instead of a left fold: adjacent partitions
@@ -175,6 +206,7 @@ pub(crate) fn fixpoint(
                 &persistent,
                 &[reached, frontier],
                 &imgs,
+                &mut rings,
             )?;
         }
         let new = imgs.pop().unwrap_or(NodeRef::FALSE);
@@ -185,6 +217,16 @@ pub(crate) fn fixpoint(
         // bit-identical).
         let unseen = model.bdd.not(reached);
         let raw = model.bdd.and_not(new, reached);
+        if let Some(r) = &mut rings {
+            // `raw` is exactly the states first reached this iteration —
+            // the next onion ring. Past the cap the prefix stays valid
+            // (the walker just cannot serve targets beyond it).
+            if r.rings.len() < opts.max_trace_rings {
+                r.rings.push(raw);
+            } else {
+                r.complete = false;
+            }
+        }
         reached = model.bdd.or(reached, raw);
         frontier = model.bdd.constrain(raw, unseen);
         stats.constrain_calls += 1;
@@ -201,11 +243,15 @@ pub(crate) fn fixpoint(
             &persistent,
             &[reached, frontier],
             &[],
+            &mut rings,
         )?;
         if model.bdd.allocated_nodes() > next_reorder {
             let mut roots = persistent.clone();
             roots.push(reached);
             roots.push(frontier);
+            if let Some(r) = &rings {
+                roots.extend_from_slice(r.roots());
+            }
             model.bdd.sift(&roots, &sift_cfg);
             stats.mid_reach_reorders += 1;
             next_reorder = (model.bdd.allocated_nodes() * 2).max(opts.reorder_threshold);
@@ -218,7 +264,7 @@ pub(crate) fn fixpoint(
     stats.reached_nodes = model.bdd.size(&[reached]) as u64;
     stats.peak_live_nodes = model.bdd.stats().peak_live_nodes;
     stats.reached_states = count_states(model, reached);
-    Ok(reached)
+    Ok((reached, rings))
 }
 
 /// Kernel-counter deltas attributable to this traversal:

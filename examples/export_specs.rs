@@ -1,12 +1,14 @@
 //! Exports the built-in evaluation workloads as textual specification
 //! files under `examples/specs/`, so the `polis` CLI (and CI) can run on
-//! the exact networks the library tests use.
+//! the exact networks the library tests use. Each file carries the
+//! workload's property suite (`workloads::property_suite`), rendered
+//! canonically through the parser and printer.
 //!
 //! Run with `cargo run --example export_specs`.
 
 use polis::cfsm::Network;
 use polis::core::workloads;
-use polis::lang::emit_network_source;
+use polis::lang::{emit_spec_source, parse_properties};
 use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,8 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = Path::new("examples/specs");
     std::fs::create_dir_all(dir)?;
     for net in &nets {
+        let props = parse_properties(net, workloads::property_suite(net.name()))?;
         let path = dir.join(format!("{}.pol", net.name()));
-        std::fs::write(&path, emit_network_source(net))?;
+        std::fs::write(&path, emit_spec_source(net, &props))?;
         println!("wrote {}", path.display());
     }
     Ok(())

@@ -36,6 +36,40 @@ for spec in examples/specs/*.pol; do
   ./target/release/polis verify "$spec"
 done
 
+echo "==> property suites: exact verdicts on every example spec"
+# Each example ships one deliberately violated `assert never` whose
+# decoded counterexample the test suite replays; the CLI gate here pins
+# the verdict lines themselves.
+check_props() {
+  local spec="$1"; shift
+  local out
+  echo "--- polis verify $spec --props"
+  out="$(./target/release/polis verify "$spec" --props)"
+  for want in "$@"; do
+    grep -qF "$want" <<<"$out" \
+      || { echo "FAIL: $spec missing verdict: $want"; echo "$out"; exit 1; }
+  done
+}
+check_props examples/specs/simple.pol \
+  "properties: 2 checked, 1 violated" \
+  "assert reachable simple.c: holds" \
+  "assert never (simple@awaiting && simple.c): VIOLATED"
+check_props examples/specs/seat_belt.pol \
+  "properties: 3 checked, 1 violated" \
+  "assert reachable belt_control@alarm: holds" \
+  "assert never (belt_control@off && belt_control@waiting): holds" \
+  "assert never (belt_control@alarm && belt_control.belt_on): VIOLATED"
+check_props examples/specs/shock_absorber.pol \
+  "properties: 3 checked, 1 violated" \
+  "assert reachable mode@sport: holds" \
+  "assert never (mode@comfort && mode@sport): holds" \
+  "assert never (watchdog@starving && act.pwm_tick): VIOLATED"
+check_props examples/specs/dashboard.pol \
+  "properties: 3 checked, 1 violated" \
+  "assert reachable (frc@saturated && rpc@saturated): holds" \
+  "assert never (frc@counting && frc@saturated): holds" \
+  "assert never (speedo.wticks && odometer.wticks): VIOLATED"
+
 echo "==> verify bench smoke (sanity thresholds + deterministic regression gate)"
 ./target/release/verify --smoke --check --gate BENCH_verify.json --out /tmp/bench_verify_smoke.json
 

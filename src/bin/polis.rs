@@ -7,7 +7,8 @@
 //!                    [--buffering all|minimal] [--collapse]
 //! polis estimate <spec> [same options]
 //! polis sim <spec> --stim <file> [--policy rr|prio] [--target ...]
-//! polis verify <spec> [--node-budget N] [--reorder-threshold N|off]
+//! polis verify <spec> [--props] [--node-budget N] [--reorder-threshold N|off]
+//! polis prop <spec> [--max-rings N] [--node-budget N] [--reorder-threshold N|off]
 //! polis dot <spec> [--module NAME]
 //! ```
 //!
@@ -20,10 +21,10 @@ use polis::core::{
     synthesize_network, synthesize_network_staged, ImplStyle, MetricValue, StageRecord, SynthTrace,
     SynthesisOptions,
 };
-use polis::lang::parse_network;
+use polis::lang::{emit_spec_source, parse_network, parse_spec, Spec};
 use polis::rtos::{RtosConfig, SchedulingPolicy, Simulator, Stimulus};
 use polis::sgraph::BufferPolicy;
-use polis::verify::{verify_network, VerifyOptions};
+use polis::verify::{verify_network, verify_with_props, VerifyOptions};
 use polis::vm::Profile;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -97,6 +98,7 @@ fn takes_value(name: &str) -> bool {
             | "trace"
             | "node-budget"
             | "reorder-threshold"
+            | "max-rings"
     )
 }
 
@@ -110,6 +112,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "estimate" => estimate_cmd(&args),
         "sim" => sim(&args),
         "verify" => verify_cmd(&args),
+        "prop" => prop_cmd(&args),
         "dot" => dot(&args),
         "fmt" => fmt(&args),
         "help" | "--help" => {
@@ -128,7 +131,9 @@ fn usage() -> String {
        [--reorder-threshold N|off]\n  \
      polis estimate <spec> [same options]\n  \
      polis sim <spec> --stim <file> [--policy rr|prio] [--target mcu8|risc32]\n  \
-     polis verify <spec> [--node-budget N] [--reorder-threshold N|off]\n  \
+     polis verify <spec> [--props] [--node-budget N] [--reorder-threshold N|off]\n    \
+       [--max-rings N]\n  \
+     polis prop <spec> [--max-rings N] [--node-budget N] [--reorder-threshold N|off]\n  \
      polis dot <spec> [--module NAME]\n  \
      polis fmt <spec>"
         .to_owned()
@@ -145,6 +150,44 @@ fn load_network(args: &Args) -> Result<Network, String> {
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "network".to_owned());
     parse_network(&name, &src).map_err(|e| format!("{path}:{e}"))
+}
+
+/// Like [`load_network`], keeping the resolved property suite.
+fn load_spec(args: &Args) -> Result<(String, Spec), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| format!("missing <spec> argument\n{}", usage()))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = PathBuf::from(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "network".to_owned());
+    let spec = parse_spec(&name, &src).map_err(|e| format!("{path}:{e}"))?;
+    Ok((path.clone(), spec))
+}
+
+/// The verification flags shared by `verify` and `prop`.
+fn verify_options(args: &Args) -> Result<VerifyOptions, String> {
+    let mut vopts = VerifyOptions::default();
+    if let Some(budget) = args.flag("node-budget") {
+        vopts.node_budget = budget
+            .parse::<usize>()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| format!("--node-budget takes a positive integer, got `{budget}`"))?;
+    }
+    if let Some(threshold) = args.flag("reorder-threshold") {
+        vopts.reorder_threshold = parse_reorder_threshold(threshold)?;
+    }
+    if let Some(cap) = args.flag("max-rings") {
+        vopts.max_trace_rings = cap
+            .parse::<usize>()
+            .ok()
+            .filter(|&c| c >= 1)
+            .ok_or_else(|| format!("--max-rings takes a positive integer, got `{cap}`"))?;
+    }
+    Ok(vopts)
 }
 
 fn options(args: &Args) -> Result<SynthesisOptions, String> {
@@ -316,23 +359,52 @@ fn synth(args: &Args) -> Result<(), String> {
 }
 
 fn verify_cmd(args: &Args) -> Result<(), String> {
-    let net = load_network(args)?;
-    let mut vopts = VerifyOptions::default();
-    if let Some(budget) = args.flag("node-budget") {
-        vopts.node_budget = budget
-            .parse::<usize>()
-            .ok()
-            .filter(|&b| b >= 1)
-            .ok_or_else(|| format!("--node-budget takes a positive integer, got `{budget}`"))?;
+    let (_, spec) = load_spec(args)?;
+    let net = &spec.network;
+    let vopts = verify_options(args)?;
+    if !args.has("props") {
+        let report = verify_network(net, &vopts).map_err(|e| e.to_string())?;
+        print!("{}", report.render());
+        println!(
+            "verification took {:?} ({} iterations)",
+            report.stats.wall, report.stats.iterations
+        );
+        return Ok(());
     }
-    if let Some(threshold) = args.flag("reorder-threshold") {
-        vopts.reorder_threshold = parse_reorder_threshold(threshold)?;
-    }
-    let report = verify_network(&net, &vopts).map_err(|e| e.to_string())?;
+    let (report, props) =
+        verify_with_props(net, &spec.properties, &vopts).map_err(|e| e.to_string())?;
     print!("{}", report.render());
+    if let Some(trace) = report.deadlock.as_ref().and_then(|w| w.trace.as_ref()) {
+        println!("deadlock trace ({} steps):", trace.len());
+        for line in trace.render(net).lines() {
+            println!("  {line}");
+        }
+    }
     println!(
         "verification took {:?} ({} iterations)",
         report.stats.wall, report.stats.iterations
+    );
+    print!("{}", props.render(net));
+    Ok(())
+}
+
+fn prop_cmd(args: &Args) -> Result<(), String> {
+    let (path, spec) = load_spec(args)?;
+    let net = &spec.network;
+    if spec.properties.is_empty() {
+        return Err(format!("`{path}` declares no properties block"));
+    }
+    let vopts = verify_options(args)?;
+    let (report, props) =
+        verify_with_props(net, &spec.properties, &vopts).map_err(|e| e.to_string())?;
+    print!("{}", props.render(net));
+    println!(
+        "checked {} properties in {:?} ({} reachable-set iterations, {} rings, {} preimage nodes)",
+        props.checked,
+        report.stats.wall + props.wall,
+        report.stats.iterations,
+        props.rings_stored,
+        props.preimage_nodes
     );
     Ok(())
 }
@@ -423,8 +495,8 @@ fn sim(args: &Args) -> Result<(), String> {
 }
 
 fn fmt(args: &Args) -> Result<(), String> {
-    let net = load_network(args)?;
-    print!("{}", polis::lang::emit_network_source(&net));
+    let (_, spec) = load_spec(args)?;
+    print!("{}", emit_spec_source(&spec.network, &spec.properties));
     Ok(())
 }
 

@@ -18,6 +18,13 @@ module ponger {
 }
 "#;
 
+const PROPS: &str = r#"
+properties {
+    assert reachable ponger@s;
+    assert never pinger.go && ponger.ping;
+}
+"#;
+
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_polis"))
 }
@@ -123,6 +130,100 @@ fn verify_reports_reachability_verdicts() {
 }
 
 #[test]
+fn verify_props_appends_verdicts_and_keeps_default_output_identical() {
+    let dir = tmpdir("props");
+    let plain = write(&dir, "pp.pol", SPEC);
+    let sub = dir.join("suite");
+    std::fs::create_dir_all(&sub).unwrap();
+    let with_props = write(&sub, "pp.pol", &format!("{SPEC}\n{PROPS}"));
+
+    // A properties block does not disturb the default verify output.
+    let base = bin().args(["verify", &plain]).output().unwrap();
+    let ignored = bin().args(["verify", &with_props]).output().unwrap();
+    assert!(base.status.success() && ignored.status.success());
+    assert_eq!(
+        strip_wall(&String::from_utf8_lossy(&base.stdout)),
+        strip_wall(&String::from_utf8_lossy(&ignored.stdout)),
+        "properties changed the default verify output"
+    );
+
+    let out = bin()
+        .args(["verify", &with_props, "--props"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The plain report still leads, verbatim.
+    assert!(stdout.contains("fixpoint:"), "{stdout}");
+    assert!(stdout.contains("env -> pinger.go: POSSIBLE"), "{stdout}");
+    assert!(
+        stdout.contains("properties: 2 checked, 1 violated"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("assert reachable ponger@s: holds"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("assert never (pinger.go && ponger.ping): VIOLATED"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("counterexample ("), "{stdout}");
+    assert!(stdout.contains("deliver go"), "{stdout}");
+}
+
+fn strip_wall(out: &str) -> String {
+    out.lines()
+        .filter(|l| !l.starts_with("verification took"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn prop_subcommand_prints_traces_and_requires_a_suite() {
+    let dir = tmpdir("prop");
+    let spec = write(&dir, "ppp.pol", &format!("{SPEC}\n{PROPS}"));
+    let out = bin().args(["prop", &spec]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("properties: 2 checked, 1 violated"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("react pinger #0 (s -> s)"), "{stdout}");
+    assert!(stdout.contains("checked 2 properties in"), "{stdout}");
+
+    // Without a properties block the subcommand refuses.
+    let bare = write(&dir, "pp.pol", SPEC);
+    let out = bin().args(["prop", &bare]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no properties block"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Unknown names in a property are positioned diagnostics.
+    let bad = write(
+        &dir,
+        "bad.pol",
+        &format!("{SPEC}\nproperties {{\n    assert never pinger@missing;\n}}\n"),
+    );
+    let out = bin().args(["prop", &bad]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("has no state `missing`"), "{stderr}");
+}
+
+#[test]
 fn synth_verify_flag_appends_report_and_keeps_output_identical() {
     let dir = tmpdir("synth_verify");
     let spec = write(&dir, "pp.pol", SPEC);
@@ -182,6 +283,21 @@ fn fmt_normalizes_and_roundtrips() {
     let out2 = bin().args(["fmt", &spec2]).output().unwrap();
     assert!(out2.status.success());
     assert_eq!(String::from_utf8_lossy(&out2.stdout), formatted);
+
+    // Property blocks are normalized and roundtrip too.
+    let spec3 = write(&dir, "pp3.pol", &format!("{SPEC}\n{PROPS}"));
+    let out3 = bin().args(["fmt", &spec3]).output().unwrap();
+    assert!(out3.status.success());
+    let formatted = String::from_utf8_lossy(&out3.stdout).into_owned();
+    assert!(formatted.contains("properties {"), "{formatted}");
+    assert!(
+        formatted.contains("assert never (pinger.go && ponger.ping);"),
+        "{formatted}"
+    );
+    let spec4 = write(&dir, "pp4.pol", &formatted);
+    let out4 = bin().args(["fmt", &spec4]).output().unwrap();
+    assert!(out4.status.success());
+    assert_eq!(String::from_utf8_lossy(&out4.stdout), formatted);
 }
 
 #[test]
